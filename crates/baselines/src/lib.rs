@@ -1,0 +1,27 @@
+//! # cynthia-baselines — Optimus and Paleo comparison models
+//!
+//! The paper evaluates Cynthia against two state-of-the-art DDNN
+//! performance models (Sec. 5.1) and against a "modified Optimus"
+//! provisioner (footnote 4: the Optimus model substituted into the same
+//! cost-minimizing search, because vanilla Optimus minimizes time rather
+//! than guaranteeing performance).
+//!
+//! * [`optimus`] — Optimus (Peng et al., EuroSys'18) fits a per-size
+//!   throughput curve online from profiling samples and composes
+//!   computation and communication *additively* (no overlap) with no
+//!   notion of PS resource bottlenecks. Its documented failure modes —
+//!   sample-quality sensitivity and extrapolation past the saturation
+//!   knee — fall out of the implementation.
+//! * [`paleo`] — Paleo (Qi et al., ICLR'17) predicts analytically from the
+//!   model architecture and platform speeds: per-worker compute at rated
+//!   FLOPS, communication at full unshared bandwidth, additive, bottleneck
+//!   oblivious.
+//! * [`provisioner`] — the modified-Optimus provisioner.
+
+pub mod optimus;
+pub mod paleo;
+pub mod provisioner;
+
+pub use optimus::OptimusModel;
+pub use paleo::PaleoModel;
+pub use provisioner::plan_with_optimus;

@@ -1,0 +1,339 @@
+//! The Optimus performance model.
+//!
+//! Optimus models the iteration time of PS training with a low-order
+//! rational form and calibrates its coefficients by least squares on
+//! *observed* samples `(n, t_iter)` collected from short profiling runs:
+//!
+//! * BSP: `t_iter(n, p) = θ0/n + θ1 + θ2·n/p` — per-worker compute share,
+//!   fixed overhead, communication linear in workers and inverse in PS
+//!   count.
+//! * ASP (per-worker cycle): `t_iter(n, p) = θ0 + θ1·n/p + θ2/n` —
+//!   constant cycle, contention growing with workers, small-cluster
+//!   correction.
+//!
+//! Computation and communication are additive (no overlap modelling) and
+//! there is no demand/supply bottleneck term; both shortcomings are what
+//! Sec. 5.1 of the Cynthia paper measures. When fitted from simulation,
+//! the model records the profiled instance type's capabilities and scales
+//! the compute/communication terms by capability ratios when asked about
+//! other types (the minimal extension needed for the footnote-4
+//! "modified Optimus" to search a catalog at all).
+
+use cynthia_core::perf_model::{ClusterShape, PerfModel};
+use cynthia_models::{SyncMode, Workload};
+use cynthia_train::{simulate, ClusterSpec, SimConfig, TrainJob};
+use serde::{Deserialize, Serialize};
+
+/// A fitted Optimus model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimusModel {
+    pub sync: SyncMode,
+    /// Coefficients of the per-mode basis (see module docs).
+    pub theta: [f64; 3],
+    /// The `(n, t_iter)` samples the model was fitted on (diagnostics).
+    pub samples: Vec<(u32, f64)>,
+    /// Core GFLOPS of the instance type the samples came from (compute
+    /// terms scale by `ref/actual`); `None` disables scaling.
+    pub ref_core_gflops: Option<f64>,
+    /// Per-node NIC MB/s of the profiled type (communication terms scale
+    /// by `ref/actual`).
+    pub ref_nic_mbps: Option<f64>,
+}
+
+fn basis(sync: SyncMode, n: f64) -> [f64; 3] {
+    match sync {
+        SyncMode::Bsp => [1.0 / n, 1.0, n],
+        SyncMode::Asp => [1.0, n, 1.0 / n],
+    }
+}
+
+impl OptimusModel {
+    /// Fits θ to observed `(workers, iteration time)` samples, all taken
+    /// with one PS node. Negative components are clamped to zero and the
+    /// remaining terms refitted (Optimus uses NNLS).
+    ///
+    /// # Panics
+    /// Panics with fewer than three samples (three unknowns).
+    pub fn fit(sync: SyncMode, samples: &[(u32, f64)]) -> OptimusModel {
+        assert!(
+            samples.len() >= 3,
+            "Optimus needs at least 3 profiling samples, got {}",
+            samples.len()
+        );
+        let rows: Vec<([f64; 3], f64)> = samples
+            .iter()
+            .map(|(n, t)| (basis(sync, *n as f64), *t))
+            .collect();
+        let theta = nnls3(&rows);
+        OptimusModel {
+            sync,
+            theta,
+            samples: samples.to_vec(),
+            ref_core_gflops: None,
+            ref_nic_mbps: None,
+        }
+    }
+
+    /// Collects samples by running the workload briefly at each of
+    /// `sample_ns` worker counts (1 PS), then fits — Optimus's online
+    /// profiling. Small `sample_ns` (the realistic, cheap choice) never
+    /// see the bottleneck regime, which is exactly why the model
+    /// extrapolates poorly there.
+    pub fn fit_from_simulation(
+        workload: &Workload,
+        ty: &cynthia_cloud::instance::InstanceType,
+        sample_ns: &[u32],
+        seed: u64,
+    ) -> OptimusModel {
+        let samples: Vec<(u32, f64)> = sample_ns
+            .iter()
+            .map(|n| {
+                let mut probe = workload.clone();
+                probe.iterations = 30;
+                let job = TrainJob {
+                    workload: &probe,
+                    cluster: ClusterSpec::homogeneous(ty, *n, 1),
+                    config: SimConfig::exact(seed ^ (*n as u64)),
+                };
+                let report = simulate(&job);
+                (*n, report.iter_time.mean)
+            })
+            .collect();
+        OptimusModel {
+            ref_core_gflops: Some(ty.core_gflops),
+            ref_nic_mbps: Some(ty.nic_mbps),
+            ..Self::fit(workload.sync, &samples)
+        }
+    }
+
+    /// Capability scaling factors `(compute, network)` for a target
+    /// shape relative to the profiled type.
+    fn scales(&self, shape: &ClusterShape) -> (f64, f64) {
+        let cpu = self
+            .ref_core_gflops
+            .map(|r| r / shape.min_worker_gflops())
+            .unwrap_or(1.0);
+        let per_ps_bw = shape.ps_total_bw / shape.n_ps as f64;
+        let net = self.ref_nic_mbps.map(|r| r / per_ps_bw).unwrap_or(1.0);
+        (cpu, net)
+    }
+}
+
+impl PerfModel for OptimusModel {
+    fn name(&self) -> &str {
+        "Optimus"
+    }
+
+    fn iter_time(&self, shape: &ClusterShape) -> f64 {
+        let n = shape.n_workers() as f64;
+        let p = shape.n_ps as f64;
+        let [t0, t1, t2] = self.theta;
+        let (cpu, net) = self.scales(shape);
+        match self.sync {
+            SyncMode::Bsp => t0 * cpu / n + t1 + t2 * net * n / p,
+            SyncMode::Asp => t0 * cpu + t1 * net * n / p + t2 / n,
+        }
+    }
+
+    fn predict_time(&self, shape: &ClusterShape, total_updates: u64) -> f64 {
+        let s = total_updates as f64;
+        match self.sync {
+            SyncMode::Bsp => s * self.iter_time(shape),
+            // ASP: workers cycle independently; no saturation floor in
+            // Optimus.
+            SyncMode::Asp => s * self.iter_time(shape) / shape.n_workers() as f64,
+        }
+    }
+}
+
+/// Non-negative least squares for three parameters: ordinary LS via normal
+/// equations, then clamp-and-refit for any negative component.
+fn nnls3(rows: &[([f64; 3], f64)]) -> [f64; 3] {
+    let mut active = [true; 3];
+    loop {
+        let theta = ls_subset(rows, &active);
+        match theta.iter().position(|t| *t < 0.0) {
+            None => return theta,
+            Some(i) => {
+                // Clamp the most negative active component and refit.
+                let worst = theta
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| **t < 0.0)
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(i);
+                active[worst] = false;
+                if !active.iter().any(|a| *a) {
+                    return [0.0; 3];
+                }
+            }
+        }
+    }
+}
+
+/// Least squares over the active subset of the three basis functions.
+fn ls_subset(rows: &[([f64; 3], f64)], active: &[bool; 3]) -> [f64; 3] {
+    let idx: Vec<usize> = (0..3).filter(|i| active[*i]).collect();
+    let k = idx.len();
+    // Normal equations A^T A x = A^T y over the active columns.
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (basis, y) in rows {
+        for (a, &ia) in idx.iter().enumerate() {
+            aty[a] += basis[ia] * y;
+            for (b, &ib) in idx.iter().enumerate() {
+                ata[a][b] += basis[ia] * basis[ib];
+            }
+        }
+    }
+    let x = solve(ata, aty);
+    let mut theta = [0.0; 3];
+    for (a, &ia) in idx.iter().enumerate() {
+        theta[ia] = x[a];
+    }
+    theta
+}
+
+/// Gaussian elimination with partial pivoting. Singular systems fall back
+/// to zeros (degenerate sample sets).
+fn solve(mut a: Vec<Vec<f64>>, mut y: Vec<f64>) -> Vec<f64> {
+    let n = y.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[pivot][col].abs() < 1e-12 {
+            return vec![0.0; n];
+        }
+        a.swap(col, pivot);
+        y.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (cell, pivot) in rest[0][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *cell -= f * pivot;
+            }
+            y[row] -= f * y[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = y[row];
+        for (c, xc) in x.iter().enumerate().skip(row + 1) {
+            acc -= a[row][c] * xc;
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cynthia_cloud::default_catalog;
+
+    #[test]
+    fn recovers_exact_coefficients_from_clean_samples() {
+        // t(n) = 12/n + 0.5 + 0.3n
+        let samples: Vec<(u32, f64)> = (1..=6)
+            .map(|n| (n, 12.0 / n as f64 + 0.5 + 0.3 * n as f64))
+            .collect();
+        let m = OptimusModel::fit(SyncMode::Bsp, &samples);
+        assert!((m.theta[0] - 12.0).abs() < 1e-6, "{:?}", m.theta);
+        assert!((m.theta[1] - 0.5).abs() < 1e-6);
+        assert!((m.theta[2] - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_asp_coefficients_from_clean_samples() {
+        // cycle(n) = 20 + 0.4n + 3/n
+        let samples: Vec<(u32, f64)> = (1..=6)
+            .map(|n| (n, 20.0 + 0.4 * n as f64 + 3.0 / n as f64))
+            .collect();
+        let m = OptimusModel::fit(SyncMode::Asp, &samples);
+        assert!((m.theta[0] - 20.0).abs() < 1e-6, "{:?}", m.theta);
+        assert!((m.theta[1] - 0.4).abs() < 1e-6);
+        assert!((m.theta[2] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nnls_clamps_negative_components() {
+        // Pure 1/n decay: fitting the full basis on few samples can push
+        // θ1/θ2 negative; NNLS must not.
+        let samples: Vec<(u32, f64)> = (1..=4).map(|n| (n, 10.0 / n as f64)).collect();
+        let m = OptimusModel::fit(SyncMode::Bsp, &samples);
+        assert!(m.theta.iter().all(|t| *t >= 0.0), "{:?}", m.theta);
+        // Still fits the data closely.
+        for (n, t) in &samples {
+            let shape =
+                ClusterShape::homogeneous(default_catalog().expect("m4.xlarge"), *n, 1);
+            assert!((m.iter_time(&shape) - t).abs() < 0.2, "{:?}", m.theta);
+        }
+    }
+
+    #[test]
+    fn underestimates_the_bottleneck_regime() {
+        // Fit on the pre-knee samples of the mnist workload, then compare
+        // against the ground-truth simulator at 8 workers: Optimus should
+        // underpredict (Sec. 5.1's observation).
+        let cat = default_catalog();
+        let m4 = cat.expect("m4.xlarge");
+        let w = cynthia_models::Workload::mnist_bsp();
+        let model = OptimusModel::fit_from_simulation(&w, m4, &[1, 2, 3], 9);
+
+        let mut probe = w.clone();
+        probe.iterations = 300;
+        let job = TrainJob {
+            workload: &probe,
+            cluster: ClusterSpec::homogeneous(m4, 8, 1),
+            config: SimConfig::deterministic(9),
+        };
+        let observed = simulate(&job).iter_time.mean;
+        let predicted = model.iter_time(&ClusterShape::homogeneous(m4, 8, 1));
+        assert!(
+            predicted < observed * 0.85,
+            "Optimus should underpredict past the knee: {predicted} vs {observed}"
+        );
+    }
+
+    #[test]
+    fn capability_scaling_adjusts_cross_type_predictions() {
+        let cat = default_catalog();
+        let m4 = cat.expect("m4.xlarge");
+        let m1 = cat.expect("m1.xlarge");
+        let w = cynthia_models::Workload::cifar10_bsp();
+        let model = OptimusModel::fit_from_simulation(&w, m4, &[1, 2, 3], 4);
+        let on_m4 = model.iter_time(&ClusterShape::homogeneous(m4, 2, 1));
+        let on_m1 = model.iter_time(&ClusterShape::homogeneous(m1, 2, 1));
+        // m1 cores run at 0.55x, so the compute-bound prediction must be
+        // substantially slower there.
+        assert!(
+            on_m1 > on_m4 * 1.4,
+            "scaling should slow m1 predictions: {on_m4} vs {on_m1}"
+        );
+    }
+
+    #[test]
+    fn asp_prediction_divides_across_workers() {
+        let m = OptimusModel {
+            sync: SyncMode::Asp,
+            theta: [20.0, 0.5, 4.0],
+            samples: vec![],
+            ref_core_gflops: None,
+            ref_nic_mbps: None,
+        };
+        let cat = default_catalog();
+        let shape = ClusterShape::homogeneous(cat.expect("m4.xlarge"), 5, 1);
+        let cycle = 20.0 + 0.5 * 5.0 + 4.0 / 5.0;
+        assert!((m.iter_time(&shape) - cycle).abs() < 1e-12);
+        assert!((m.predict_time(&shape, 100) - 100.0 * cycle / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_samples_panics() {
+        OptimusModel::fit(SyncMode::Bsp, &[(1, 1.0), (2, 0.6)]);
+    }
+}

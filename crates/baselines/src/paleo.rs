@@ -1,0 +1,116 @@
+//! The Paleo performance model.
+//!
+//! Paleo predicts training time analytically from the network structure,
+//! computation speed, and communication strategy: per-worker compute at
+//! the platform's rated speed and parameter traffic at the full network
+//! bandwidth, composed additively. It shares Cynthia's profiled inputs
+//! here (the paper calibrates Paleo's computation speed from the same
+//! single-node measurements) but, like Optimus, it models neither the
+//! computation/communication overlap of BSP nor the PS resource
+//! bottleneck — the two failure modes Fig. 6 quantifies.
+
+use cynthia_core::perf_model::{ClusterShape, CynthiaModel, PerfModel};
+use cynthia_core::profiler::ProfileData;
+use serde::{Deserialize, Serialize};
+
+/// Paleo = the analytic additive, bandwidth-only model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaleoModel {
+    inner: CynthiaModel,
+}
+
+impl PaleoModel {
+    /// Builds Paleo from the same one-shot profile Cynthia uses.
+    pub fn new(profile: ProfileData) -> Self {
+        PaleoModel {
+            inner: CynthiaModel {
+                profile,
+                overlap: false,
+                bottleneck_aware: false,
+            },
+        }
+    }
+
+    /// The profile driving the model.
+    pub fn profile(&self) -> &ProfileData {
+        &self.inner.profile
+    }
+}
+
+impl PerfModel for PaleoModel {
+    fn name(&self) -> &str {
+        "Paleo"
+    }
+
+    fn iter_time(&self, shape: &ClusterShape) -> f64 {
+        self.inner.iter_time(shape)
+    }
+
+    fn predict_time(&self, shape: &ClusterShape, total_updates: u64) -> f64 {
+        self.inner.predict_time(shape, total_updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cynthia_cloud::default_catalog;
+    use cynthia_core::profiler::profile_workload;
+    use cynthia_models::Workload;
+    use cynthia_train::{simulate, ClusterSpec, SimConfig, TrainJob};
+
+    fn shape(n: u32, n_ps: u32) -> ClusterShape {
+        ClusterShape::homogeneous(default_catalog().expect("m4.xlarge"), n, n_ps)
+    }
+
+    #[test]
+    fn paleo_is_additive_so_it_overestimates_balanced_bsp() {
+        let cat = default_catalog();
+        let w = Workload::cifar10_bsp();
+        let profile = profile_workload(&w, cat.expect("m4.xlarge"), 3);
+        let paleo = PaleoModel::new(profile.clone());
+        let cynthia = CynthiaModel::new(profile);
+        // Near the comp/comm balance point additive composition roughly
+        // doubles the prediction relative to max().
+        let s = shape(8, 1);
+        let ratio = paleo.iter_time(&s) / cynthia.iter_time(&s);
+        assert!(
+            ratio > 1.5,
+            "additive model should exceed overlap model near balance: {ratio}"
+        );
+    }
+
+    #[test]
+    fn paleo_misses_the_cpu_ingest_bottleneck() {
+        // For mnist the PS CPU (not the NIC) bounds communication; Paleo's
+        // bandwidth-only term under-accounts it at scale.
+        let cat = default_catalog();
+        let m4 = cat.expect("m4.xlarge");
+        let w = Workload::mnist_bsp();
+        let profile = profile_workload(&w, m4, 5);
+        let paleo = PaleoModel::new(profile);
+
+        let mut probe = w.clone();
+        probe.iterations = 300;
+        let job = TrainJob {
+            workload: &probe,
+            cluster: ClusterSpec::homogeneous(m4, 8, 1),
+            config: SimConfig::deterministic(5),
+        };
+        let observed = simulate(&job).iter_time.mean;
+        let predicted = paleo.iter_time(&shape(8, 1));
+        assert!(
+            predicted < observed * 0.9,
+            "Paleo should underpredict the CPU-bound regime: {predicted} vs {observed}"
+        );
+    }
+
+    #[test]
+    fn name_and_profile_accessors() {
+        let cat = default_catalog();
+        let profile = profile_workload(&Workload::mnist_bsp(), cat.expect("m4.xlarge"), 1);
+        let paleo = PaleoModel::new(profile.clone());
+        assert_eq!(paleo.name(), "Paleo");
+        assert_eq!(paleo.profile().workload_id, profile.workload_id);
+    }
+}

@@ -1,0 +1,65 @@
+//! The "modified Optimus" provisioner (footnote 4 of the paper).
+//!
+//! Vanilla Optimus schedules to minimize average completion time in a
+//! shared cluster; to compare provisioning strategies under a performance
+//! *goal*, the paper substitutes the Optimus performance model into the
+//! same cost-minimizing search (Alg. 1). This module does exactly that.
+
+use crate::optimus::OptimusModel;
+use cynthia_cloud::catalog::Catalog;
+use cynthia_core::loss_model::FittedLossModel;
+use cynthia_core::profiler::ProfileData;
+use cynthia_core::provisioner::{plan_with_model, Goal, Plan, PlannerOptions};
+
+/// Plans with the Optimus model under the same goal and search.
+pub fn plan_with_optimus(
+    optimus: &OptimusModel,
+    profile: &ProfileData,
+    loss: &FittedLossModel,
+    catalog: &Catalog,
+    goal: &Goal,
+    options: &PlannerOptions,
+) -> Option<Plan> {
+    plan_with_model(optimus, profile, loss, catalog, goal, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cynthia_cloud::default_catalog;
+    use cynthia_core::profiler::profile_workload;
+    use cynthia_core::provisioner::plan;
+    use cynthia_models::Workload;
+
+    #[test]
+    fn optimus_plans_differ_from_cynthia_under_overlap() {
+        // Optimus's additive model overestimates BSP time, so it tends to
+        // provision at least as many (often more) resources than Cynthia
+        // for the same goal — the over-provisioning of Fig. 11.
+        let cat = default_catalog();
+        let m4 = cat.expect("m4.xlarge");
+        let w = Workload::cifar10_bsp();
+        let profile = profile_workload(&w, m4, 11);
+        let loss = FittedLossModel {
+            sync: w.sync,
+            beta0: w.convergence.beta0,
+            beta1: w.convergence.beta1,
+            r_squared: 1.0,
+        };
+        let goal = Goal {
+            deadline_secs: 5400.0,
+            target_loss: 0.8,
+        };
+        let opts = PlannerOptions::default();
+        let optimus = OptimusModel::fit_from_simulation(&w, m4, &[1, 2, 3, 4], 11);
+        let p_cyn = plan(&profile, &loss, &cat, &goal, &opts).expect("cynthia plan");
+        let p_opt = plan_with_optimus(&optimus, &profile, &loss, &cat, &goal, &opts)
+            .expect("optimus plan");
+        let cyn_nodes = p_cyn.n_workers + p_cyn.n_ps;
+        let opt_nodes = p_opt.n_workers + p_opt.n_ps;
+        assert!(
+            opt_nodes >= cyn_nodes,
+            "Optimus should not under-provision vs Cynthia here: {p_opt:?} vs {p_cyn:?}"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_bounds` — Alg. 1 with vs without Theorem 4.1's search-band
+//!   narrowing (the Sec. 5.3 complexity claim: runtime is proportional to
+//!   the band width).
+//! * `ablation_scan` — first-feasible stop vs full-band minimum-cost scan.
+//! * `ablation_overlap` / `ablation_bottleneck` — prediction cost of the
+//!   full model vs its degraded variants (their *accuracy* deltas are
+//!   covered by `cynthia-exp ablations`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cynthia_bench::{bench_loss, bench_profile};
+use cynthia_cloud::catalog::default_catalog;
+use cynthia_core::perf_model::{ClusterShape, CynthiaModel, PerfModel};
+use cynthia_core::provisioner::{plan, Goal, PlannerOptions};
+use cynthia_models::Workload;
+
+fn bench_bounds_ablation(c: &mut Criterion) {
+    let catalog = default_catalog();
+    let w = Workload::cifar10_bsp();
+    let profile = bench_profile(&w);
+    let loss = bench_loss(&w);
+    let goal = Goal {
+        deadline_secs: 3600.0,
+        target_loss: 0.7,
+    };
+    let mut g = c.benchmark_group("ablation-bounds");
+    g.bench_function("with-theorem41-bounds", |b| {
+        b.iter(|| plan(&profile, &loss, &catalog, &goal, &PlannerOptions::default()))
+    });
+    g.bench_function("without-bounds-full-scan", |b| {
+        b.iter(|| {
+            plan(
+                &profile,
+                &loss,
+                &catalog,
+                &goal,
+                &PlannerOptions {
+                    use_bounds: false,
+                    max_workers: 64,
+                    ..PlannerOptions::default()
+                },
+            )
+        })
+    });
+    g.bench_function("first-feasible-stop", |b| {
+        b.iter(|| {
+            plan(
+                &profile,
+                &loss,
+                &catalog,
+                &goal,
+                &PlannerOptions {
+                    first_feasible: true,
+                    ..PlannerOptions::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_model_ablations(c: &mut Criterion) {
+    let catalog = default_catalog();
+    let m4 = catalog.expect("m4.xlarge");
+    let profile = bench_profile(&Workload::cifar10_bsp());
+    let full = CynthiaModel::new(profile.clone());
+    let no_overlap = CynthiaModel {
+        overlap: false,
+        ..full.clone()
+    };
+    let no_bottleneck = CynthiaModel {
+        bottleneck_aware: false,
+        ..full.clone()
+    };
+    let shape = ClusterShape::homogeneous(m4, 13, 1);
+    let mut g = c.benchmark_group("ablation-model");
+    g.bench_function("full", |b| b.iter(|| full.predict_time(&shape, 10_000)));
+    g.bench_function("no-overlap", |b| {
+        b.iter(|| no_overlap.predict_time(&shape, 10_000))
+    });
+    g.bench_function("no-bottleneck", |b| {
+        b.iter(|| no_bottleneck.predict_time(&shape, 10_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bounds_ablation, bench_model_ablations);
+criterion_main!(benches);

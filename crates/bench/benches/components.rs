@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the system's components: the fluid max-min solver,
+//! the event queue, MVA, loss fitting, profiling, and Alg. 1 planning
+//! (the Sec. 5.3 "milliseconds" claim).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cynthia_bench::{bench_loss, bench_profile};
+use cynthia_cloud::catalog::default_catalog;
+use cynthia_core::perf_model::{ClusterShape, CynthiaModel, PerfModel};
+use cynthia_core::provisioner::{plan, Goal, PlannerOptions};
+use cynthia_models::{SyncMode, Workload};
+use cynthia_sim::events::EventQueue;
+use cynthia_sim::fluid::{FlowSpec, FluidSystem};
+
+fn bench_fluid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid");
+    for flows in [8usize, 64, 256] {
+        g.bench_function(format!("recompute-{flows}-flows"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sys = FluidSystem::new();
+                    let links: Vec<_> =
+                        (0..8).map(|i| sys.add_resource(100.0, format!("l{i}"))).collect();
+                    for i in 0..flows {
+                        sys.start_flow(FlowSpec::new(
+                            vec![links[i % 8], links[(i + 1) % 8]],
+                            10.0,
+                            i as u64,
+                        ));
+                    }
+                    sys
+                },
+                |mut sys| sys.next_completion(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event-queue-10k-roundtrip", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u32 {
+                q.schedule_at((i % 97) as f64, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc += e as u64;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let catalog = default_catalog();
+    let m4 = catalog.expect("m4.xlarge");
+    let w_asp = Workload::vgg19_asp();
+    let w_bsp = Workload::cifar10_bsp();
+    let model_asp = CynthiaModel::new(bench_profile(&w_asp));
+    let model_bsp = CynthiaModel::new(bench_profile(&w_bsp));
+    let shape = ClusterShape::homogeneous(m4, 12, 2);
+
+    let mut g = c.benchmark_group("prediction");
+    g.bench_function("cynthia-bsp-predict", |b| {
+        b.iter(|| model_bsp.predict_time(&shape, 10_000))
+    });
+    g.bench_function("cynthia-asp-mva-predict", |b| {
+        b.iter(|| model_asp.predict_time(&shape, 1_000))
+    });
+    g.finish();
+}
+
+fn bench_loss_fit(c: &mut Criterion) {
+    let curve: Vec<(u64, f64)> = (1..=512u64)
+        .map(|i| (i * 19, 700.0 / (i as f64 * 19.0) + 0.45))
+        .collect();
+    c.bench_function("loss-fit-512-samples", |b| {
+        b.iter(|| {
+            cynthia_core::loss_model::FittedLossModel::fit(SyncMode::Bsp, &curve, 1)
+        })
+    });
+}
+
+fn bench_planning(c: &mut Criterion) {
+    // Sec. 5.3: Alg. 1 computes plans in milliseconds.
+    let catalog = default_catalog();
+    let w = Workload::cifar10_bsp();
+    let profile = bench_profile(&w);
+    let loss = bench_loss(&w);
+    let goal = Goal {
+        deadline_secs: 3600.0,
+        target_loss: 0.7,
+    };
+    c.bench_function("alg1-plan-cifar10", |b| {
+        b.iter(|| plan(&profile, &loss, &catalog, &goal, &PlannerOptions::default()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fluid,
+    bench_event_queue,
+    bench_models,
+    bench_loss_fit,
+    bench_planning
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Throughput of the discrete-event training simulator itself: how fast
+//! virtual training runs execute, across sync modes and cluster sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cynthia_cloud::catalog::default_catalog;
+use cynthia_models::Workload;
+use cynthia_train::{simulate, ClusterSpec, SimConfig, TrainJob};
+
+fn bench_simulator(c: &mut Criterion) {
+    let catalog = default_catalog();
+    let m4 = catalog.expect("m4.xlarge");
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+
+    for (label, workload, n, n_ps) in [
+        ("mnist-bsp-1wk", Workload::mnist_bsp().with_iterations(200), 1u32, 1u32),
+        ("mnist-bsp-8wk", Workload::mnist_bsp().with_iterations(200), 8, 1),
+        ("mnist-bsp-8wk-4ps", Workload::mnist_bsp().with_iterations(200), 8, 4),
+        ("vgg-asp-9wk", Workload::vgg19_asp().with_iterations(100), 9, 1),
+        ("cifar-bsp-17wk", Workload::cifar10_bsp().with_iterations(100), 17, 1),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                simulate(&TrainJob {
+                    workload: &workload,
+                    cluster: ClusterSpec::homogeneous(m4, n, n_ps),
+                    config: SimConfig::deterministic(7),
+                })
+            })
+        });
+    }
+
+    // Heterogeneous barrier handling.
+    let m1 = catalog.expect("m1.xlarge");
+    let w = Workload::mnist_bsp().with_iterations(200);
+    g.bench_function("mnist-bsp-8wk-hetero", |b| {
+        b.iter(|| {
+            simulate(&TrainJob {
+                workload: &w,
+                cluster: ClusterSpec::heterogeneous(m4, m1, 8, 1),
+                config: SimConfig::deterministic(7),
+            })
+        })
+    });
+
+    // Fast-forward amortization: a 10k-iteration run at steady state.
+    let long = Workload::mnist_bsp();
+    g.bench_function("mnist-bsp-10k-fastforward", |b| {
+        b.iter(|| {
+            simulate(&TrainJob {
+                workload: &long,
+                cluster: ClusterSpec::homogeneous(m4, 4, 1),
+                config: SimConfig::fast(7),
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! One bench per table/figure of the paper's evaluation: each target
+//! regenerates its artifact end-to-end (profiling, simulation,
+//! prediction, planning) at the quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cynthia_bench::bench_config;
+use cynthia_experiments as exp;
+
+fn bench_tables_figures(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("paper-artifacts");
+    g.sample_size(10);
+
+    g.bench_function("table1", |b| b.iter(exp::table1::run));
+    g.bench_function("fig1", |b| b.iter(|| exp::fig1::run(&cfg)));
+    g.bench_function("table2", |b| b.iter(|| exp::table2::run(&cfg)));
+    g.bench_function("fig2", |b| b.iter(|| exp::fig2::run(&cfg)));
+    g.bench_function("fig3", |b| b.iter(|| exp::fig3::run(&cfg)));
+    g.bench_function("fig4", |b| b.iter(|| exp::fig4::run(&cfg)));
+    g.bench_function("table4", |b| b.iter(|| exp::table4::run(&cfg)));
+    g.bench_function("fig6", |b| b.iter(|| exp::fig6::run(&cfg)));
+    g.bench_function("fig7", |b| b.iter(|| exp::fig7::run(&cfg)));
+    g.bench_function("fig8", |b| b.iter(|| exp::fig8::run(&cfg)));
+    g.bench_function("fig9", |b| b.iter(|| exp::fig9::run(&cfg)));
+    g.bench_function("fig10", |b| b.iter(|| exp::fig10::run(&cfg)));
+    g.bench_function("fig11", |b| b.iter(|| exp::fig11::run(&cfg)));
+    g.bench_function("fig12", |b| b.iter(|| exp::fig12::run(&cfg)));
+    g.bench_function("fig13", |b| b.iter(|| exp::fig13::run(&cfg)));
+    g.bench_function("overhead", |b| b.iter(|| exp::overhead::run(&cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables_figures);
+criterion_main!(benches);

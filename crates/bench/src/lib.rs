@@ -1,0 +1,50 @@
+//! # cynthia-bench — benchmark fixtures
+//!
+//! The Criterion benches under `benches/` regenerate every table and
+//! figure of the paper (at reduced scale so a full `cargo bench` stays
+//! tractable) and measure the runtime of each system component plus the
+//! ablations DESIGN.md calls out. This small library holds the shared
+//! fixtures so the bench targets stay declarative.
+
+use cynthia_cloud::catalog::default_catalog;
+use cynthia_core::loss_model::FittedLossModel;
+use cynthia_core::profiler::{profile_workload, ProfileData};
+use cynthia_experiments::ExpConfig;
+use cynthia_models::Workload;
+
+/// The quick experiment configuration used by every bench.
+pub fn bench_config() -> ExpConfig {
+    ExpConfig::quick()
+}
+
+/// A cached m4.xlarge profile for the given workload.
+pub fn bench_profile(workload: &Workload) -> ProfileData {
+    let catalog = default_catalog();
+    profile_workload(workload, catalog.expect("m4.xlarge"), 99)
+}
+
+/// A ground-truth loss model for the workload (as if fitted from a prior
+/// production run).
+pub fn bench_loss(workload: &Workload) -> FittedLossModel {
+    FittedLossModel {
+        sync: workload.sync,
+        beta0: workload.convergence.beta0,
+        beta1: workload.convergence.beta1,
+        r_squared: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let w = Workload::mnist_bsp();
+        let p = bench_profile(&w);
+        assert!(p.w_iter_gflops > 0.0);
+        let l = bench_loss(&w);
+        assert_eq!(l.sync, w.sync);
+        assert!(!bench_config().catalog.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-second billing over launch/terminate events.
+//!
+//! The paper's cost metric (Eq. 8) is hourly price × runtime × instance
+//! count. `BillingMeter` generalizes that to arbitrary launch/terminate
+//! schedules so the end-to-end framework can also account for provisioning
+//! latency if desired.
+
+use std::collections::HashMap;
+
+/// One billable lease: an instance of some hourly price running over an
+/// interval.
+#[derive(Debug, Clone)]
+struct Lease {
+    price_per_hour: f64,
+    start: f64,
+    /// `None` while still running.
+    end: Option<f64>,
+}
+
+/// Accumulates the cost of a fleet of instances.
+#[derive(Debug, Default, Clone)]
+pub struct BillingMeter {
+    leases: HashMap<u64, Lease>,
+    next_id: u64,
+    /// Cost of already-terminated leases.
+    settled: f64,
+}
+
+impl BillingMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts billing an instance at `t` (seconds) with the given hourly
+    /// price; returns a lease handle.
+    pub fn launch(&mut self, t: f64, price_per_hour: f64) -> u64 {
+        assert!(price_per_hour >= 0.0 && t >= 0.0);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.leases.insert(
+            id,
+            Lease {
+                price_per_hour,
+                start: t,
+                end: None,
+            },
+        );
+        id
+    }
+
+    /// Stops billing lease `id` at time `t`.
+    ///
+    /// # Panics
+    /// Panics on an unknown or already-terminated lease, or if `t` precedes
+    /// the launch.
+    pub fn terminate(&mut self, id: u64, t: f64) {
+        let lease = self.leases.get_mut(&id).expect("unknown lease");
+        assert!(lease.end.is_none(), "lease {id} already terminated");
+        assert!(t >= lease.start, "terminate before launch");
+        lease.end = Some(t);
+        self.settled += lease.price_per_hour * (t - lease.start) / 3600.0;
+    }
+
+    /// Terminates every running lease at `t`.
+    pub fn terminate_all(&mut self, t: f64) {
+        let running: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.end.is_none())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in running {
+            self.terminate(id, t);
+        }
+    }
+
+    /// Total accrued cost as of time `t` (running leases billed up to `t`).
+    pub fn total_cost(&self, t: f64) -> f64 {
+        let running: f64 = self
+            .leases
+            .values()
+            .filter(|l| l.end.is_none())
+            .map(|l| l.price_per_hour * (t - l.start).max(0.0) / 3600.0)
+            .sum();
+        self.settled + running
+    }
+
+    /// Number of currently running leases.
+    pub fn running(&self) -> usize {
+        self.leases.values().filter(|l| l.end.is_none()).count()
+    }
+}
+
+/// Convenience: the paper's Eq. (8) cost of a static cluster —
+/// `(p_wk·n_wk + p_ps·n_ps) · t_iter · s`, with time in seconds and prices
+/// in $/hour.
+pub fn static_cluster_cost(
+    worker_price_per_hour: f64,
+    n_workers: u32,
+    ps_price_per_hour: f64,
+    n_ps: u32,
+    runtime_secs: f64,
+) -> f64 {
+    assert!(runtime_secs >= 0.0);
+    (worker_price_per_hour * n_workers as f64 + ps_price_per_hour * n_ps as f64) * runtime_secs
+        / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lease_accrues_per_second() {
+        let mut m = BillingMeter::new();
+        let id = m.launch(0.0, 3.6); // $3.6/h = $0.001/s
+        assert!((m.total_cost(1000.0) - 1.0).abs() < 1e-9);
+        m.terminate(id, 2000.0);
+        assert!((m.total_cost(9999.0) - 2.0).abs() < 1e-9);
+        assert_eq!(m.running(), 0);
+    }
+
+    #[test]
+    fn staggered_fleet() {
+        let mut m = BillingMeter::new();
+        m.launch(0.0, 1.0);
+        m.launch(1800.0, 1.0);
+        assert_eq!(m.running(), 2);
+        m.terminate_all(3600.0);
+        // 1h + 0.5h at $1/h
+        assert!((m.total_cost(99999.0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut m = BillingMeter::new();
+        let id = m.launch(0.0, 1.0);
+        m.terminate(id, 1.0);
+        m.terminate(id, 2.0);
+    }
+
+    #[test]
+    fn static_cost_matches_eq8() {
+        // 4 workers at $0.2/h + 1 PS at $0.2/h for 5400 s = $1.5.
+        let c = static_cluster_cost(0.2, 4, 0.2, 1, 5400.0);
+        assert!((c - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! The calibrated instance catalog.
+//!
+//! The evaluation uses four EC2 instance types. The compute capabilities
+//! below are *effective* GFLOPS for the paper's CPU TensorFlow workloads
+//! (an E5-2686 v4 core sustains ~0.9 effective GFLOP/s on those kernels —
+//! derived from Table 4: `w_iter`/`t_base` for the mnist DNN), not peak
+//! datasheet FLOPS. The m1.xlarge (E5-2651 v2) is the designated straggler:
+//! its core speed is ≈ 0.55× an m4 core, matching the up-to-84% training
+//! slowdown of Fig. 1. NIC bandwidths reflect the observed saturation
+//! plateaus of Figs. 2 and 7 (≈ 70–118 MB/s). Prices are 2019 us-east-1
+//! on-demand.
+
+use crate::instance::InstanceType;
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection of instance types the provisioner can choose from.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    types: Vec<InstanceType>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a type; panics if it fails validation or duplicates a name.
+    pub fn add(&mut self, t: InstanceType) -> &mut Self {
+        if let Err(e) = t.validate() {
+            panic!("invalid instance type: {e}");
+        }
+        assert!(
+            self.get(&t.name).is_none(),
+            "duplicate instance type {}",
+            t.name
+        );
+        self.types.push(t);
+        self
+    }
+
+    /// Looks a type up by name.
+    pub fn get(&self, name: &str) -> Option<&InstanceType> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// Looks a type up by name, panicking with a useful message if missing.
+    pub fn expect(&self, name: &str) -> &InstanceType {
+        self.get(name)
+            .unwrap_or_else(|| panic!("instance type {name:?} not in catalog"))
+    }
+
+    /// All types in insertion order.
+    pub fn types(&self) -> &[InstanceType] {
+        &self.types
+    }
+
+    /// Number of types (the paper's `p` in the complexity analysis of
+    /// Alg. 1).
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+/// The calibrated catalog mirroring the paper's testbed (Sec. 2 and Sec. 5)
+/// plus two extra general-purpose sizes so Alg. 1 has a non-trivial type
+/// search space.
+pub fn default_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add(InstanceType {
+        name: "m4.xlarge".into(),
+        vcpus: 4,
+        physical_cores: 2,
+        core_gflops: 0.90,
+        node_gflops: 3.60,
+        nic_mbps: 118.0,
+        price_per_hour: 0.20,
+        launch_secs: 95.0,
+    });
+    c.add(InstanceType {
+        // Previous-generation straggler (Intel E5-2651 v2); the paper's
+        // heterogeneous clusters mix these in as ⌊n/2⌋ of the workers.
+        name: "m1.xlarge".into(),
+        vcpus: 4,
+        physical_cores: 4,
+        core_gflops: 0.50,
+        node_gflops: 2.00,
+        nic_mbps: 80.0,
+        price_per_hour: 0.35,
+        launch_secs: 120.0,
+    });
+    c.add(InstanceType {
+        name: "c3.xlarge".into(),
+        vcpus: 4,
+        physical_cores: 2,
+        core_gflops: 1.00,
+        node_gflops: 4.00,
+        nic_mbps: 95.0,
+        price_per_hour: 0.21,
+        launch_secs: 90.0,
+    });
+    c.add(InstanceType {
+        // E5-2670 v2, used in Fig. 8's cross-type prediction experiment.
+        name: "r3.xlarge".into(),
+        vcpus: 4,
+        physical_cores: 2,
+        core_gflops: 0.80,
+        node_gflops: 3.20,
+        nic_mbps: 95.0,
+        price_per_hour: 0.333,
+        launch_secs: 100.0,
+    });
+    c.add(InstanceType {
+        name: "m4.2xlarge".into(),
+        vcpus: 8,
+        physical_cores: 4,
+        core_gflops: 0.90,
+        node_gflops: 7.20,
+        nic_mbps: 125.0,
+        price_per_hour: 0.40,
+        launch_secs: 95.0,
+    });
+    c.add(InstanceType {
+        name: "c4.xlarge".into(),
+        vcpus: 4,
+        physical_cores: 2,
+        core_gflops: 1.05,
+        node_gflops: 4.20,
+        nic_mbps: 95.0,
+        price_per_hour: 0.199,
+        launch_secs: 90.0,
+    });
+    c
+}
+
+/// The default catalog extended with GPU instance types, for the paper's
+/// future-work scenario (Sec. 7: "deploy Cynthia in the GPU cluster").
+/// Capabilities are in the same capability-table units as the CPU types
+/// (an effective m4 core = 0.9), so one profile transfers across the
+/// whole catalog: a K80 runs the conv-heavy workloads ≈ 28× an m4 core,
+/// a V100 ≈ 130×. GPU instances ship with 10-25 Gbps networking.
+pub fn gpu_catalog() -> Catalog {
+    let mut c = default_catalog();
+    c.add(InstanceType {
+        name: "p2.xlarge".into(),
+        vcpus: 4,
+        physical_cores: 1, // one GPU = one worker pod
+        core_gflops: 25.0,
+        node_gflops: 27.0,
+        nic_mbps: 450.0,
+        price_per_hour: 0.90,
+        launch_secs: 150.0,
+    });
+    c.add(InstanceType {
+        name: "p3.2xlarge".into(),
+        vcpus: 8,
+        physical_cores: 1,
+        core_gflops: 120.0,
+        node_gflops: 125.0,
+        nic_mbps: 1250.0,
+        price_per_hour: 3.06,
+        launch_secs: 150.0,
+    });
+    c
+}
+
+/// The static "CPU capability table" (paper ref. \[3\]) used to obtain
+/// `c_wk`/`c_ps` without profiling each type: `(type name, core GFLOPS,
+/// node GFLOPS)`.
+pub fn capability_table() -> Vec<(String, f64, f64)> {
+    default_catalog()
+        .types()
+        .iter()
+        .map(|t| (t.name.clone(), t.core_gflops, t.node_gflops))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::PodKind;
+
+    #[test]
+    fn default_catalog_has_the_papers_types() {
+        let c = default_catalog();
+        for name in ["m4.xlarge", "m1.xlarge", "c3.xlarge", "r3.xlarge"] {
+            assert!(c.get(name).is_some(), "{name} missing");
+        }
+        assert!(c.len() >= 4);
+    }
+
+    #[test]
+    fn all_default_types_validate() {
+        for t in default_catalog().types() {
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn straggler_ratio_matches_calibration() {
+        let c = default_catalog();
+        let m4 = c.expect("m4.xlarge").core_gflops;
+        let m1 = c.expect("m1.xlarge").core_gflops;
+        let ratio = m1 / m4;
+        assert!(
+            (0.5..0.65).contains(&ratio),
+            "straggler ratio {ratio} outside the calibrated band"
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let c = default_catalog();
+        assert_eq!(c.expect("m4.xlarge").pod_gflops(PodKind::Worker), 0.90);
+        assert!(c.get("p3.16xlarge").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate instance type")]
+    fn duplicate_names_rejected() {
+        let mut c = default_catalog();
+        let t = c.expect("m4.xlarge").clone();
+        c.add(t);
+    }
+
+    #[test]
+    fn capability_table_covers_catalog() {
+        let table = capability_table();
+        assert_eq!(table.len(), default_catalog().len());
+        let (name, core, node) = &table[0];
+        assert_eq!(name, "m4.xlarge");
+        assert_eq!(*core, 0.90);
+        assert_eq!(*node, 3.60);
+    }
+}
+
+#[cfg(test)]
+mod gpu_tests {
+    use super::*;
+
+    #[test]
+    fn gpu_catalog_extends_the_default() {
+        let g = gpu_catalog();
+        assert_eq!(g.len(), default_catalog().len() + 2);
+        for t in g.types() {
+            t.validate().unwrap();
+        }
+        let k80 = g.expect("p2.xlarge");
+        let v100 = g.expect("p3.2xlarge");
+        assert!(v100.core_gflops > 4.0 * k80.core_gflops);
+        assert!(v100.price_per_hour > k80.price_per_hour);
+        // One GPU per worker pod.
+        assert_eq!(k80.physical_cores, 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Instance-type descriptors.
+//!
+//! An instance type carries exactly the scalars Cynthia's models consume:
+//! per-core and per-node CPU capability in GFLOPS (the paper's `c_wk`,
+//! `c_ps`, measured in FLOPS), NIC bandwidth in MB/s (`b_ps`), and the
+//! on-demand hourly price (`p_t`).
+
+use serde::{Deserialize, Serialize};
+
+/// What role a pod (docker) plays on an instance. The prototype pins one
+/// worker docker per physical CPU core and gives parameter-server pods the
+/// whole node (Sec. 5, "Testbed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PodKind {
+    /// A training worker: one physical core of the instance.
+    Worker,
+    /// A parameter server: the full node's CPU and NIC.
+    ParameterServer,
+}
+
+/// A cloud instance type with the capabilities Cynthia's models need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceType {
+    /// API name, e.g. `"m4.xlarge"`.
+    pub name: String,
+    /// Number of vCPUs (hyperthreads).
+    pub vcpus: u32,
+    /// Number of physical cores (worker pods are pinned one per core).
+    pub physical_cores: u32,
+    /// Effective per-core compute capability, GFLOPS (the paper's `c_wk`
+    /// for a worker docker pinned to one core).
+    pub core_gflops: f64,
+    /// Effective whole-node compute capability, GFLOPS (the paper's `c_ps`
+    /// for a PS pod owning the node).
+    pub node_gflops: f64,
+    /// NIC bandwidth in MB/s (the paper's `b_ps`; their PS NICs saturate
+    /// around 70–110 MB/s).
+    pub nic_mbps: f64,
+    /// On-demand price in $/hour.
+    pub price_per_hour: f64,
+    /// Time from launch request to the pod joining the cluster, seconds.
+    pub launch_secs: f64,
+}
+
+impl InstanceType {
+    /// CPU capability available to a pod of the given kind, GFLOPS.
+    pub fn pod_gflops(&self, kind: PodKind) -> f64 {
+        match kind {
+            PodKind::Worker => self.core_gflops,
+            PodKind::ParameterServer => self.node_gflops,
+        }
+    }
+
+    /// Price of running `count` pods' worth of instances for `secs` seconds,
+    /// assuming one pod per instance (the provisioning granularity used in
+    /// the evaluation: worker counts are instance counts).
+    pub fn cost(&self, count: u32, secs: f64) -> f64 {
+        assert!(secs >= 0.0, "negative duration");
+        self.price_per_hour * count as f64 * secs / 3600.0
+    }
+
+    /// Validates internal consistency; used by catalog tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("empty name".into());
+        }
+        if self.vcpus == 0 || self.physical_cores == 0 {
+            return Err(format!("{}: zero cores", self.name));
+        }
+        if self.physical_cores > self.vcpus {
+            return Err(format!("{}: more physical cores than vCPUs", self.name));
+        }
+        for (field, v) in [
+            ("core_gflops", self.core_gflops),
+            ("node_gflops", self.node_gflops),
+            ("nic_mbps", self.nic_mbps),
+            ("price_per_hour", self.price_per_hour),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{}: {field} must be positive, got {v}", self.name));
+            }
+        }
+        if self.node_gflops + 1e-9 < self.core_gflops {
+            return Err(format!("{}: node slower than a single core", self.name));
+        }
+        if self.launch_secs < 0.0 {
+            return Err(format!("{}: negative launch latency", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m4() -> InstanceType {
+        InstanceType {
+            name: "m4.xlarge".into(),
+            vcpus: 4,
+            physical_cores: 2,
+            core_gflops: 0.9,
+            node_gflops: 3.6,
+            nic_mbps: 118.0,
+            price_per_hour: 0.2,
+            launch_secs: 90.0,
+        }
+    }
+
+    #[test]
+    fn pod_gflops_by_kind() {
+        let t = m4();
+        assert_eq!(t.pod_gflops(PodKind::Worker), 0.9);
+        assert_eq!(t.pod_gflops(PodKind::ParameterServer), 3.6);
+    }
+
+    #[test]
+    fn cost_is_per_second_prorated() {
+        let t = m4();
+        // 3 instances for half an hour at $0.2/h = $0.3.
+        assert!((t.cost(3, 1800.0) - 0.3).abs() < 1e-12);
+        assert_eq!(t.cost(0, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn validate_accepts_sane_type() {
+        assert!(m4().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let mut t = m4();
+        t.nic_mbps = 0.0;
+        assert!(t.validate().is_err());
+        let mut t = m4();
+        t.physical_cores = 8;
+        assert!(t.validate().is_err());
+        let mut t = m4();
+        t.node_gflops = 0.1;
+        assert!(t.validate().is_err());
+    }
+}

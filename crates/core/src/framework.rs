@@ -1,0 +1,220 @@
+//! The end-to-end Cynthia prototype (Sec. 5, "Cynthia prototype").
+//!
+//! Mirrors the paper's deployment: the *performance predictor* and
+//! *resource provisioner* modules live on the master node; a submitted job
+//! is profiled once on a baseline worker, the expected iteration count for
+//! the objective loss is computed from the fitted loss function, a
+//! cost-efficient plan is chosen, instances are provisioned through the
+//! (simulated) cloud API, join the cluster with a kubeadm-style token, and
+//! the job trains to completion while the billing meter runs.
+
+use crate::loss_model::FittedLossModel;
+use crate::perf_model::{ClusterShape, CynthiaModel, PerfModel};
+use crate::profiler::{profile_workload, ProfileData};
+use crate::provisioner::{plan, Goal, Plan, PlannerOptions};
+use cynthia_cloud::catalog::Catalog;
+use cynthia_cloud::provisioner::{CloudProvider, ProvisionRequest};
+use cynthia_models::Workload;
+use cynthia_train::{simulate, ClusterSpec, SimConfig, TrainJob, TrainingReport};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one submitted job, end to end.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    pub plan: Plan,
+    /// The goal the job was submitted with.
+    pub goal: Goal,
+    /// Ground-truth training outcome on the provisioned cluster.
+    pub training: TrainingReport,
+    /// Eq. (8) monetary cost at the *actual* runtime, $.
+    pub actual_cost: f64,
+    /// Whether the actual training time met the deadline.
+    pub met_deadline: bool,
+    /// Whether the final loss met the target.
+    pub met_loss: bool,
+    /// kubeadm-style join token the cluster was assembled with.
+    pub join_token: String,
+    /// Wall-clock the planner itself took, seconds (Sec. 5.3 overhead).
+    pub planning_seconds: f64,
+}
+
+/// The Cynthia scheduler: a catalog, a baseline type for profiling, and
+/// simulation knobs.
+#[derive(Debug, Clone)]
+pub struct Cynthia {
+    pub catalog: Catalog,
+    pub baseline_type: String,
+    pub seed: u64,
+    /// Simulation config used for the full training run.
+    pub run_config: SimConfig,
+    pub planner: PlannerOptions,
+}
+
+impl Cynthia {
+    /// A scheduler over `catalog`, profiling on m4.xlarge like the paper.
+    pub fn new(catalog: Catalog) -> Self {
+        Cynthia {
+            catalog,
+            baseline_type: "m4.xlarge".into(),
+            seed: 42,
+            run_config: SimConfig::fast(42),
+            planner: PlannerOptions::default(),
+        }
+    }
+
+    /// Step 1: one-shot profiling on the baseline worker.
+    pub fn profile(&self, workload: &Workload) -> ProfileData {
+        let ty = self.catalog.expect(&self.baseline_type);
+        profile_workload(workload, ty, self.seed)
+    }
+
+    /// Step 2: fit the loss model from one prior execution of the job
+    /// ("the DDNN workloads are repeatedly executed in production
+    /// clusters"): here, a reference run on a small cluster.
+    pub fn fit_loss(&self, workload: &Workload, reference_workers: u32) -> FittedLossModel {
+        let ty = self.catalog.expect(&self.baseline_type);
+        let job = TrainJob {
+            workload,
+            cluster: ClusterSpec::homogeneous(ty, reference_workers, 1),
+            config: SimConfig::fast(self.seed ^ 0x0010_55ff),
+        };
+        let report = simulate(&job);
+        FittedLossModel::fit(workload.sync, &report.loss_curve, reference_workers)
+    }
+
+    /// Step 3: the provisioning plan for a goal.
+    pub fn plan(
+        &self,
+        profile: &ProfileData,
+        loss: &FittedLossModel,
+        goal: &Goal,
+    ) -> Option<Plan> {
+        plan(profile, loss, &self.catalog, goal, &self.planner)
+    }
+
+    /// Steps 4–5: provision the plan, run the job, settle the bill.
+    pub fn execute(
+        &self,
+        workload: &Workload,
+        the_plan: &Plan,
+        goal: &Goal,
+        planning_seconds: f64,
+    ) -> ExecutionReport {
+        let mut provider = CloudProvider::new(self.catalog.clone());
+        let cluster = provider
+            .provision(
+                0.0,
+                &ProvisionRequest {
+                    type_name: the_plan.type_name.clone(),
+                    n_workers: the_plan.n_workers,
+                    n_ps: the_plan.n_ps,
+                },
+            )
+            .expect("plan references a catalog type");
+
+        let ty = self.catalog.expect(&the_plan.type_name);
+        let mut configured = workload.clone();
+        configured.iterations = the_plan.total_updates;
+        let job = TrainJob {
+            workload: &configured,
+            cluster: ClusterSpec::homogeneous(ty, the_plan.n_workers, the_plan.n_ps),
+            config: self.run_config,
+        };
+        let training = simulate(&job);
+
+        // Bill for the training span (the paper's Eq. 8 cost metric:
+        // instance-hours of the training itself).
+        let actual_cost = cynthia_cloud::billing::static_cluster_cost(
+            ty.price_per_hour,
+            the_plan.n_workers,
+            ty.price_per_hour,
+            the_plan.n_ps,
+            training.total_time,
+        );
+        provider.teardown(cluster.ready_at + training.total_time, &cluster);
+
+        ExecutionReport {
+            plan: the_plan.clone(),
+            goal: *goal,
+            met_deadline: training.total_time <= goal.deadline_secs,
+            met_loss: training.final_loss <= goal.target_loss * 1.05,
+            actual_cost,
+            training,
+            join_token: cluster.join_token,
+            planning_seconds,
+        }
+    }
+
+    /// The whole pipeline for one job submission.
+    pub fn run_end_to_end(&self, workload: &Workload, goal: &Goal) -> Option<ExecutionReport> {
+        let profile = self.profile(workload);
+        let loss = self.fit_loss(workload, 4);
+        let t0 = std::time::Instant::now();
+        let plan = self.plan(&profile, &loss, goal)?;
+        let planning_seconds = t0.elapsed().as_secs_f64();
+        Some(self.execute(workload, &plan, goal, planning_seconds))
+    }
+
+    /// Convenience: the full performance model for a profile.
+    pub fn model(&self, profile: &ProfileData) -> CynthiaModel {
+        CynthiaModel::new(profile.clone())
+    }
+
+    /// Predicted time on an arbitrary shape (used by the validation
+    /// experiments of Sec. 5.1).
+    pub fn predict(&self, profile: &ProfileData, shape: &ClusterShape, updates: u64) -> f64 {
+        CynthiaModel::new(profile.clone()).predict_time(shape, updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cynthia_cloud::default_catalog;
+
+    #[test]
+    fn end_to_end_meets_goals_for_cifar10() {
+        let cynthia = Cynthia::new(default_catalog());
+        let w = Workload::cifar10_bsp();
+        let goal = Goal {
+            deadline_secs: 7200.0,
+            target_loss: 0.8,
+        };
+        let report = cynthia.run_end_to_end(&w, &goal).expect("feasible goal");
+        assert!(
+            report.met_deadline,
+            "actual {} vs deadline {}",
+            report.training.total_time, goal.deadline_secs
+        );
+        assert!(report.met_loss, "final loss {}", report.training.final_loss);
+        assert!(report.actual_cost > 0.0);
+        assert!(!report.join_token.is_empty());
+    }
+
+    #[test]
+    fn infeasible_goal_returns_none() {
+        let cynthia = Cynthia::new(default_catalog());
+        let w = Workload::cifar10_bsp();
+        let goal = Goal {
+            deadline_secs: 7200.0,
+            target_loss: 0.01,
+        };
+        assert!(cynthia.run_end_to_end(&w, &goal).is_none());
+    }
+
+    #[test]
+    fn planning_is_fast() {
+        // Sec. 5.3: plan computation in tens of milliseconds.
+        let cynthia = Cynthia::new(default_catalog());
+        let w = Workload::cifar10_bsp();
+        let profile = cynthia.profile(&w);
+        let loss = cynthia.fit_loss(&w, 4);
+        let goal = Goal {
+            deadline_secs: 5400.0,
+            target_loss: 0.8,
+        };
+        let t0 = std::time::Instant::now();
+        let _ = cynthia.plan(&profile, &loss, &goal);
+        assert!(t0.elapsed().as_millis() < 200, "planning too slow");
+    }
+}

@@ -1,0 +1,277 @@
+//! The empirical DDNN loss model (Eq. 1) and its calibration.
+//!
+//! Summary 2 of the paper: under SGD, training loss is inversely
+//! proportional to the iteration count — `β0/s + β1` for BSP — and ASP's
+//! parameter staleness scales the numerator by `√n`:
+//! `β0·√n/s + β1`. The coefficients are obtained by ordinary least squares
+//! on the loss curve of one training run (the paper: "the loss function can
+//! be obtained by executing the DDNN training job once, as the DDNN
+//! workloads are repeatedly executed in production clusters").
+
+use cynthia_models::SyncMode;
+use serde::{Deserialize, Serialize};
+
+/// A fitted instance of Eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedLossModel {
+    pub sync: SyncMode,
+    pub beta0: f64,
+    pub beta1: f64,
+    /// Coefficient of determination of the fit (diagnostic).
+    pub r_squared: f64,
+}
+
+impl FittedLossModel {
+    /// Fits Eq. (1) to a single loss curve recorded with `n_workers`.
+    /// `curve` holds `(global update count, loss)` samples.
+    ///
+    /// Early-training samples sitting on the initial-loss plateau (real
+    /// curves are bounded by the loss at initialization, so the hyperbola
+    /// only describes the post-warm-up regime) are excluded: any sample
+    /// within 3% of the maximum observed loss is treated as warm-up.
+    ///
+    /// # Panics
+    /// Panics if fewer than two usable samples are provided.
+    pub fn fit(sync: SyncMode, curve: &[(u64, f64)], n_workers: u32) -> FittedLossModel {
+        let pairs = Self::usable(sync, curve, n_workers);
+        Self::fit_pairs(sync, &pairs)
+    }
+
+    fn usable(sync: SyncMode, curve: &[(u64, f64)], n_workers: u32) -> Vec<(f64, f64)> {
+        // The plateau is a *prefix* of the curve: drop everything up to
+        // (and including) the last sample still within 7% of the maximum.
+        // Samples there have extreme leverage in 1/s space — a handful of
+        // capped points would otherwise dominate the slope.
+        let max_loss = curve
+            .iter()
+            .map(|(_, l)| *l)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let cutoff = max_loss * 0.93;
+        let first_good = curve
+            .iter()
+            .rposition(|(_, l)| *l >= cutoff)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        let filtered: Vec<(f64, f64)> = curve[first_good..]
+            .iter()
+            .filter(|(s, _)| *s > 0)
+            .map(|(s, l)| (basis(sync, *s as f64, n_workers), *l))
+            .collect();
+        if filtered.len() >= 2 {
+            filtered
+        } else {
+            curve
+                .iter()
+                .filter(|(s, _)| *s > 0)
+                .map(|(s, l)| (basis(sync, *s as f64, n_workers), *l))
+                .collect()
+        }
+    }
+
+    /// Joint fit over curves from runs with different worker counts
+    /// (useful for ASP, where the √n factor is shared — Fig. 4(b) fits).
+    pub fn fit_multi(sync: SyncMode, curves: &[(u32, &[(u64, f64)])]) -> FittedLossModel {
+        let pairs: Vec<(f64, f64)> = curves
+            .iter()
+            .flat_map(|(n, curve)| Self::usable(sync, curve, *n))
+            .collect();
+        Self::fit_pairs(sync, &pairs)
+    }
+
+    fn fit_pairs(sync: SyncMode, pairs: &[(f64, f64)]) -> FittedLossModel {
+        assert!(
+            pairs.len() >= 2,
+            "loss fit needs at least two samples, got {}",
+            pairs.len()
+        );
+        let n = pairs.len() as f64;
+        let mean_x = pairs.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let mean_y = pairs.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let sxx: f64 = pairs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+        let sxy: f64 = pairs
+            .iter()
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        assert!(sxx > 0.0, "degenerate loss curve (constant basis)");
+        let beta0 = sxy / sxx;
+        let beta1 = mean_y - beta0 * mean_x;
+        let ss_tot: f64 = pairs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = pairs
+            .iter()
+            .map(|(x, y)| (y - (beta0 * x + beta1)).powi(2))
+            .sum();
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        FittedLossModel {
+            sync,
+            beta0,
+            beta1,
+            r_squared,
+        }
+    }
+
+    /// Predicted loss after `s` global updates with `n` workers.
+    pub fn predict(&self, s: u64, n_workers: u32) -> f64 {
+        if s == 0 {
+            return f64::INFINITY;
+        }
+        self.beta0 * basis(self.sync, s as f64, n_workers) + self.beta1
+    }
+
+    /// BSP: Eq. (15) — iterations needed for the target loss:
+    /// `s = ⌈β0 / (l_g − β1)⌉`. Returns `None` if the target is at or
+    /// below the fitted floor β1.
+    pub fn bsp_iterations_for(&self, target_loss: f64) -> Option<u64> {
+        assert_eq!(self.sync, SyncMode::Bsp, "BSP inversion on an ASP model");
+        if target_loss <= self.beta1 {
+            return None;
+        }
+        Some((self.beta0 / (target_loss - self.beta1)).ceil().max(1.0) as u64)
+    }
+
+    /// ASP — *per-worker* iterations with `n` workers to reach the
+    /// target: the exact inversion of Eq. (1),
+    /// `s = ⌈β0 / (√n · (l_g − β1))⌉`.
+    ///
+    /// The paper's printed Eq. (20), `β0/(l_g·√n) − β1/n`, is a
+    /// first-order approximation that under-budgets iterations by up to
+    /// 2× when β1 is a sizable fraction of `l_g` — enough to miss the
+    /// loss goal outright — so this implementation inverts exactly (the
+    /// predicted loss at the returned count always meets the target;
+    /// see the round-trip tests).
+    pub fn asp_iterations_per_worker(&self, target_loss: f64, n_workers: u32) -> Option<u64> {
+        assert_eq!(self.sync, SyncMode::Asp, "ASP inversion on a BSP model");
+        if target_loss <= self.beta1 {
+            return None;
+        }
+        let n = n_workers as f64;
+        let s = self.beta0 / (n.sqrt() * (target_loss - self.beta1));
+        Some(s.ceil().max(1.0) as u64)
+    }
+
+    /// Exact inversion of Eq. (1): *total* updates to reach the target.
+    pub fn total_updates_for(&self, target_loss: f64, n_workers: u32) -> Option<u64> {
+        if target_loss <= self.beta1 {
+            return None;
+        }
+        let stale = match self.sync {
+            SyncMode::Bsp => 1.0,
+            SyncMode::Asp => (n_workers as f64).sqrt(),
+        };
+        Some(
+            (self.beta0 * stale / (target_loss - self.beta1))
+                .ceil()
+                .max(1.0) as u64,
+        )
+    }
+}
+
+fn basis(sync: SyncMode, s: f64, n_workers: u32) -> f64 {
+    match sync {
+        SyncMode::Bsp => 1.0 / s,
+        SyncMode::Asp => (n_workers as f64).sqrt() / s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth_curve(sync: SyncMode, beta0: f64, beta1: f64, n: u32, count: u64) -> Vec<(u64, f64)> {
+        (1..=count)
+            .step_by(7)
+            .map(|s| {
+                let stale = match sync {
+                    SyncMode::Bsp => 1.0,
+                    SyncMode::Asp => (n as f64).sqrt(),
+                };
+                (s * 10, beta0 * stale / (s as f64 * 10.0) + beta1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_bsp_coefficients_exactly_on_clean_data() {
+        let curve = synth_curve(SyncMode::Bsp, 700.0, 0.45, 1, 500);
+        let m = FittedLossModel::fit(SyncMode::Bsp, &curve, 1);
+        assert!((m.beta0 - 700.0).abs() < 1e-6, "beta0 {}", m.beta0);
+        assert!((m.beta1 - 0.45).abs() < 1e-9, "beta1 {}", m.beta1);
+        assert!(m.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn recovers_asp_coefficients_with_staleness_basis() {
+        let curve = synth_curve(SyncMode::Asp, 450.0, 0.45, 9, 300);
+        let m = FittedLossModel::fit(SyncMode::Asp, &curve, 9);
+        assert!((m.beta0 - 450.0).abs() < 1e-6);
+        assert!((m.beta1 - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_curve_asp_fit_shares_coefficients() {
+        let c4 = synth_curve(SyncMode::Asp, 450.0, 0.45, 4, 300);
+        let c9 = synth_curve(SyncMode::Asp, 450.0, 0.45, 9, 300);
+        let m = FittedLossModel::fit_multi(
+            SyncMode::Asp,
+            &[(4, c4.as_slice()), (9, c9.as_slice())],
+        );
+        assert!((m.beta0 - 450.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let mut curve = synth_curve(SyncMode::Bsp, 700.0, 0.45, 1, 500);
+        for (i, (_, l)) in curve.iter_mut().enumerate() {
+            *l *= 1.0 + 0.02 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let m = FittedLossModel::fit(SyncMode::Bsp, &curve, 1);
+        assert!((m.beta0 - 700.0).abs() / 700.0 < 0.1);
+        assert!((m.beta1 - 0.45).abs() < 0.05);
+    }
+
+    #[test]
+    fn bsp_inversion_matches_eq15() {
+        let m = FittedLossModel {
+            sync: SyncMode::Bsp,
+            beta0: 700.0,
+            beta1: 0.45,
+            r_squared: 1.0,
+        };
+        assert_eq!(m.bsp_iterations_for(0.8), Some(2000));
+        assert_eq!(m.bsp_iterations_for(0.45), None);
+        assert_eq!(m.bsp_iterations_for(0.2), None);
+        // Round trip: predicted loss at the returned count meets the target.
+        let s = m.bsp_iterations_for(0.7).unwrap();
+        assert!(m.predict(s, 1) <= 0.7 + 1e-9);
+    }
+
+    #[test]
+    fn asp_per_worker_iterations_shrink_with_more_workers() {
+        let m = FittedLossModel {
+            sync: SyncMode::Asp,
+            beta0: 450.0,
+            beta1: 0.45,
+            r_squared: 1.0,
+        };
+        let s4 = m.asp_iterations_per_worker(0.6, 4).unwrap();
+        let s9 = m.asp_iterations_per_worker(0.6, 9).unwrap();
+        assert!(s9 < s4, "per-worker share shrinks: {s4} vs {s9}");
+        // But the total grows with n (staleness penalty).
+        let t4 = m.total_updates_for(0.6, 4).unwrap();
+        let t9 = m.total_updates_for(0.6, 9).unwrap();
+        assert!(t9 > t4);
+        // Per-worker count is consistent with the exact total.
+        assert_eq!(s4, t4.div_ceil(4));
+        // Round trip: the loss at the implied total meets the target.
+        assert!(m.predict(s9 * 9, 9) <= 0.6 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn fit_rejects_tiny_curves() {
+        FittedLossModel::fit(SyncMode::Bsp, &[(10, 1.0)], 1);
+    }
+}

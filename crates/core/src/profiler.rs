@@ -1,0 +1,177 @@
+//! One-shot workload profiling (Sec. 3, "Obtaining model parameters").
+//!
+//! The workload is trained for a small, fixed number of iterations (the
+//! paper uses 30) on a single baseline worker with one PS node. Four
+//! quantities fall out:
+//!
+//! * `w_iter` — FLOPs per iteration, computed as `t_base · c_base` where
+//!   `t_base` is the measured per-iteration *computation* time and
+//!   `c_base` the baseline worker's capability from the capability table.
+//! * `g_param` — parameter payload, measured as the PS's network volume
+//!   divided by `2 · iterations` (each iteration moves one push and one
+//!   pull).
+//! * `c_prof` — the PS node's CPU consumption rate during profiling.
+//! * `b_prof` — the PS node's network throughput during profiling.
+//!
+//! Profiling happens once per workload, on one instance type; predictions
+//! for other types reuse the same profile via the capability table
+//! (validated by the Fig. 8 experiment).
+
+use cynthia_cloud::instance::InstanceType;
+use cynthia_models::{SyncMode, Workload};
+use cynthia_train::{simulate, ClusterSpec, SimConfig, TrainJob};
+use serde::{Deserialize, Serialize};
+
+/// Number of profiling iterations used by the paper.
+pub const PROFILE_ITERATIONS: u64 = 30;
+
+/// The Table 4 quantities for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileData {
+    pub workload_id: String,
+    pub sync: SyncMode,
+    /// FLOPs of one training iteration, GFLOP (capability-table units).
+    pub w_iter_gflops: f64,
+    /// Parameter payload per push/pull, MB.
+    pub g_param_mb: f64,
+    /// PS CPU consumption rate during profiling, GFLOPS.
+    pub c_prof_gflops: f64,
+    /// PS network throughput during profiling, MB/s.
+    pub b_prof_mbps: f64,
+    /// Baseline worker capability used for `w_iter`, GFLOPS.
+    pub c_base_gflops: f64,
+    /// Instance type profiled on.
+    pub baseline_type: String,
+    /// Wall-clock duration of the profiling run, seconds (Sec. 5.3
+    /// overhead accounting).
+    pub profiling_wallclock: f64,
+    /// Iterations profiled.
+    pub iterations: u64,
+}
+
+impl ProfileData {
+    /// PS CPU cost per MB of PS traffic, GFLOP/MB — the demand/supply
+    /// coupling between the two PS resources (`c_prof / b_prof`). Drives
+    /// the effective service-bandwidth term of the performance model.
+    pub fn kappa(&self) -> f64 {
+        self.c_prof_gflops / self.b_prof_mbps
+    }
+
+    /// Single-iteration computation time on the baseline worker, seconds.
+    pub fn t_base(&self) -> f64 {
+        self.w_iter_gflops / self.c_base_gflops
+    }
+}
+
+/// Profiles `workload` on one `baseline` worker plus one PS of the same
+/// type, exactly as the prototype does (Sec. 5.3).
+pub fn profile_workload(workload: &Workload, baseline: &InstanceType, seed: u64) -> ProfileData {
+    let mut probe = workload.clone();
+    probe.iterations = PROFILE_ITERATIONS;
+    let job = TrainJob {
+        workload: &probe,
+        cluster: ClusterSpec::homogeneous(baseline, 1, 1),
+        config: SimConfig::exact(seed),
+    };
+    let report = simulate(&job);
+
+    let c_base = baseline.core_gflops;
+    let w_iter = report.comp_time.mean * c_base;
+    // Total PS traffic over the run: pushes + pulls.
+    let volume: f64 = report
+        .ps_nic_mean_mbps
+        .iter()
+        .sum::<f64>()
+        * report.simulated_time;
+    let g_param = volume / (2.0 * PROFILE_ITERATIONS as f64);
+    let c_prof = report.mean_ps_util() * baseline.node_gflops;
+    let b_prof = report.total_ps_nic_mbps();
+
+    ProfileData {
+        workload_id: workload.id(),
+        sync: workload.sync,
+        w_iter_gflops: w_iter,
+        g_param_mb: g_param,
+        c_prof_gflops: c_prof,
+        b_prof_mbps: b_prof,
+        c_base_gflops: c_base,
+        baseline_type: baseline.name.clone(),
+        profiling_wallclock: report.total_time,
+        iterations: PROFILE_ITERATIONS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cynthia_cloud::default_catalog;
+
+    fn profile(w: &Workload) -> ProfileData {
+        let cat = default_catalog();
+        profile_workload(w, cat.expect("m4.xlarge"), 42)
+    }
+
+    #[test]
+    fn recovers_w_iter_within_jitter() {
+        let w = Workload::mnist_bsp();
+        let p = profile(&w);
+        let err = (p.w_iter_gflops - w.w_iter_gflops).abs() / w.w_iter_gflops;
+        assert!(err < 0.05, "w_iter {} vs true {}", p.w_iter_gflops, w.w_iter_gflops);
+    }
+
+    #[test]
+    fn recovers_g_param_approximately() {
+        let w = Workload::cifar10_bsp();
+        let p = profile(&w);
+        let truth = w.param_mb();
+        let err = (p.g_param_mb - truth).abs() / truth;
+        // The last iteration's pulls are cut off at completion -> small
+        // systematic underestimate, same as measuring a real PS.
+        assert!(err < 0.10, "g_param {} vs true {truth}", p.g_param_mb);
+    }
+
+    #[test]
+    fn table4_ordering_reproduced() {
+        // w_iter: VGG ≈ ResNet > cifar10 > mnist; g_param: VGG dominates.
+        let profiles: Vec<ProfileData> = Workload::table1().iter().map(profile).collect();
+        let (resnet, mnist, vgg, cifar) =
+            (&profiles[0], &profiles[1], &profiles[2], &profiles[3]);
+        assert!(vgg.g_param_mb > 20.0 * cifar.g_param_mb);
+        assert!(mnist.w_iter_gflops < 0.1);
+        assert!(resnet.w_iter_gflops > 10.0);
+        assert!(cifar.w_iter_gflops > mnist.w_iter_gflops);
+        // mnist has the highest PS CPU rate relative to traffic among the
+        // BSP workloads in the paper; sanity: all rates positive and below
+        // the node capability.
+        for p in &profiles {
+            assert!(p.c_prof_gflops > 0.0 && p.c_prof_gflops < 3.6, "{:?}", p.workload_id);
+            assert!(p.b_prof_mbps > 0.0 && p.b_prof_mbps < 118.0);
+        }
+    }
+
+    #[test]
+    fn profiling_wallclock_is_t_base_scale() {
+        let w = Workload::vgg19_asp();
+        let p = profile(&w);
+        // 30 iterations of ~20-25 s each (ASP: compute + serial comm).
+        assert!(
+            (500.0..1000.0).contains(&p.profiling_wallclock),
+            "wallclock {}",
+            p.profiling_wallclock
+        );
+        assert!((p.t_base() - 20.1).abs() / 20.1 < 0.1);
+    }
+
+    #[test]
+    fn kappa_is_cpu_cost_per_traffic_mb() {
+        let w = Workload::mnist_bsp();
+        let p = profile(&w);
+        // Ground truth: apply cost 0.10 GFLOP/MB on pushes only; traffic
+        // counts pushes + pulls, so kappa ≈ 0.05.
+        assert!(
+            (p.kappa() - 0.05).abs() < 0.01,
+            "kappa {}",
+            p.kappa()
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! A multilayer perceptron with softmax cross-entropy loss.
+//!
+//! Parameters are exposed as one flat `Vec<f32>` — exactly the view a
+//! parameter server has of a model — so push/pull and gradient application
+//! are slice operations.
+
+use crate::tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Layer dimensions: `dims[0]` inputs, `dims.last()` classes, ReLU between
+/// hidden layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    pub dims: Vec<usize>,
+    /// Flat parameter vector: for each layer, weights (in×out, row-major)
+    /// then biases (out).
+    params: Vec<f32>,
+}
+
+/// Forward/backward scratch produced by [`Mlp::forward`].
+pub struct ForwardPass {
+    /// Activations per layer (post-ReLU), starting with the input batch.
+    activations: Vec<Matrix>,
+    /// ReLU masks per hidden layer.
+    masks: Vec<Vec<bool>>,
+    /// Softmax probabilities.
+    probs: Matrix,
+}
+
+impl Mlp {
+    /// He-initialized MLP with the given layer dimensions (≥ 2 entries).
+    pub fn new(dims: &[usize], seed: u64) -> Mlp {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        assert!(dims.iter().all(|d| *d > 0), "zero-width layer");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut params = Vec::with_capacity(Self::param_count_of(dims));
+        for w in dims.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let std = (2.0 / fan_in as f32).sqrt();
+            for _ in 0..fan_in * fan_out {
+                // Uniform(-a, a) with matching variance: a = std*sqrt(3).
+                let a = std * 3f32.sqrt();
+                params.push(rng.gen_range(-a..a));
+            }
+            params.extend(std::iter::repeat_n(0.0, fan_out));
+        }
+        Mlp {
+            dims: dims.to_vec(),
+            params,
+        }
+    }
+
+    /// Total number of parameters for the given dims.
+    pub fn param_count_of(dims: &[usize]) -> usize {
+        dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+    }
+
+    /// Total number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The flat parameter vector.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Overwrites the flat parameter vector (a "pull").
+    pub fn set_params(&mut self, p: &[f32]) {
+        assert_eq!(p.len(), self.params.len(), "parameter size mismatch");
+        self.params.copy_from_slice(p);
+    }
+
+    /// Offset of layer `l`'s weights and biases in the flat vector.
+    fn layer_offset(&self, l: usize) -> (usize, usize, usize) {
+        let mut off = 0;
+        for i in 0..l {
+            off += self.dims[i] * self.dims[i + 1] + self.dims[i + 1];
+        }
+        let w_len = self.dims[l] * self.dims[l + 1];
+        (off, off + w_len, off + w_len + self.dims[l + 1])
+    }
+
+    fn weights(&self, l: usize) -> Matrix {
+        let (w0, w1, _) = self.layer_offset(l);
+        Matrix::from_vec(self.dims[l], self.dims[l + 1], self.params[w0..w1].to_vec())
+    }
+
+    fn biases(&self, l: usize) -> &[f32] {
+        let (_, w1, b1) = self.layer_offset(l);
+        &self.params[w1..b1]
+    }
+
+    /// Forward pass on a batch (`x`: batch × dims[0]).
+    pub fn forward(&self, x: &Matrix) -> ForwardPass {
+        assert_eq!(x.cols(), self.dims[0], "input width mismatch");
+        let n_layers = self.dims.len() - 1;
+        let mut activations = vec![x.clone()];
+        let mut masks = Vec::new();
+        for l in 0..n_layers {
+            let mut z = activations[l].matmul(&self.weights(l));
+            z.add_row_bias(self.biases(l));
+            if l + 1 < n_layers {
+                masks.push(z.relu_inplace());
+            }
+            activations.push(z);
+        }
+        let logits = activations.last().unwrap();
+        let mut probs = logits.clone();
+        for r in 0..probs.rows() {
+            let row = probs.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        ForwardPass {
+            activations,
+            masks,
+            probs,
+        }
+    }
+
+    /// Mean cross-entropy of a forward pass against integer labels.
+    pub fn loss(&self, pass: &ForwardPass, labels: &[usize]) -> f32 {
+        assert_eq!(labels.len(), pass.probs.rows());
+        let mut total = 0.0;
+        for (r, &y) in labels.iter().enumerate() {
+            total -= pass.probs.get(r, y).max(1e-12).ln();
+        }
+        total / labels.len() as f32
+    }
+
+    /// Backward pass: gradient of the mean cross-entropy w.r.t. the flat
+    /// parameter vector.
+    pub fn backward(&self, pass: &ForwardPass, labels: &[usize]) -> Vec<f32> {
+        let batch = labels.len();
+        let n_layers = self.dims.len() - 1;
+        // dL/dlogits = (probs - onehot)/batch
+        let mut delta = pass.probs.clone();
+        for (r, &y) in labels.iter().enumerate() {
+            let v = delta.get(r, y);
+            delta.set(r, y, v - 1.0);
+        }
+        delta.scale(1.0 / batch as f32);
+
+        let mut grads = vec![0.0f32; self.params.len()];
+        for l in (0..n_layers).rev() {
+            let (w0, w1, b1) = self.layer_offset(l);
+            let a_prev = &pass.activations[l];
+            let dw = a_prev.t_matmul(&delta);
+            grads[w0..w1].copy_from_slice(dw.as_slice());
+            grads[w1..b1].copy_from_slice(&delta.col_sums());
+            if l > 0 {
+                let mut next = delta.matmul_t(&self.weights(l));
+                next.mask_inplace(&pass.masks[l - 1]);
+                delta = next;
+            }
+        }
+        grads
+    }
+
+    /// Convenience: loss and gradient of a `(x, labels)` minibatch.
+    pub fn loss_and_grad(&self, x: &Matrix, labels: &[usize]) -> (f32, Vec<f32>) {
+        let pass = self.forward(x);
+        (self.loss(&pass, labels), self.backward(&pass, labels))
+    }
+
+    /// Gradient of the mean cross-entropy w.r.t. the *input* batch — what
+    /// an upstream layer (e.g. a convolution feeding this head) needs for
+    /// its own backward pass.
+    pub fn input_gradient(&self, x: &Matrix, labels: &[usize]) -> Matrix {
+        let pass = self.forward(x);
+        let batch = labels.len();
+        let n_layers = self.dims.len() - 1;
+        let mut delta = pass.probs.clone();
+        for (r, &y) in labels.iter().enumerate() {
+            let v = delta.get(r, y);
+            delta.set(r, y, v - 1.0);
+        }
+        delta.scale(1.0 / batch as f32);
+        for l in (0..n_layers).rev() {
+            let mut next = delta.matmul_t(&self.weights(l));
+            if l > 0 {
+                next.mask_inplace(&pass.masks[l - 1]);
+            }
+            delta = next;
+        }
+        delta
+    }
+
+    /// Classification accuracy on a batch.
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f64 {
+        let pass = self.forward(x);
+        let mut hits = 0usize;
+        for (r, &y) in labels.iter().enumerate() {
+            let row = pass.probs.row(r);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            if argmax == y {
+                hits += 1;
+            }
+        }
+        hits as f64 / labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_batch() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_vec(4, 3, vec![
+            0.5, -0.2, 0.1, //
+            -0.4, 0.9, 0.3, //
+            0.0, 0.2, -0.7, //
+            0.8, 0.8, 0.8,
+        ]);
+        (x, vec![0, 1, 2, 1])
+    }
+
+    #[test]
+    fn param_count_matches_layout() {
+        let net = Mlp::new(&[3, 5, 4], 1);
+        assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 4 + 4);
+        assert_eq!(Mlp::param_count_of(&[3, 5, 4]), net.param_count());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let net = Mlp::new(&[3, 8, 4], 2);
+        let (x, _) = tiny_batch();
+        let pass = net.forward(&x);
+        for r in 0..4 {
+            let s: f32 = pass.probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut net = Mlp::new(&[3, 6, 4], 3);
+        let (x, y) = tiny_batch();
+        let (_, grads) = net.loss_and_grad(&x, &y);
+        let eps = 1e-3f32;
+        // Spot-check a spread of parameter indices.
+        let n = net.param_count();
+        for &i in &[0usize, 7, n / 2, n - 3, n - 1] {
+            let orig = net.params()[i];
+            let mut p = net.params().to_vec();
+            p[i] = orig + eps;
+            net.set_params(&p);
+            let (lp, _) = net.loss_and_grad(&x, &y);
+            p[i] = orig - eps;
+            net.set_params(&p);
+            let (lm, _) = net.loss_and_grad(&x, &y);
+            p[i] = orig;
+            net.set_params(&p);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grads[i] - numeric).abs() < 2e-3,
+                "param {i}: analytic {} vs numeric {numeric}",
+                grads[i]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let net = Mlp::new(&[3, 6, 4], 8);
+        let (x, y) = tiny_batch();
+        let d_x = net.input_gradient(&x, &y);
+        let eps = 1e-3f32;
+        for (r, c) in [(0usize, 0usize), (1, 2), (3, 1)] {
+            let mut xp = x.clone();
+            xp.set(r, c, x.get(r, c) + eps);
+            let (lp, _) = net.loss_and_grad(&xp, &y);
+            let mut xm = x.clone();
+            xm.set(r, c, x.get(r, c) - eps);
+            let (lm, _) = net.loss_and_grad(&xm, &y);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (d_x.get(r, c) - numeric).abs() < 2e-3,
+                "({r},{c}): analytic {} vs numeric {numeric}",
+                d_x.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn loss_decreases_under_gradient_steps() {
+        let mut net = Mlp::new(&[3, 16, 4], 4);
+        let (x, y) = tiny_batch();
+        let (l0, _) = net.loss_and_grad(&x, &y);
+        for _ in 0..50 {
+            let (_, g) = net.loss_and_grad(&x, &y);
+            let mut p = net.params().to_vec();
+            for (pi, gi) in p.iter_mut().zip(&g) {
+                *pi -= 0.5 * gi;
+            }
+            net.set_params(&p);
+        }
+        let (l1, _) = net.loss_and_grad(&x, &y);
+        assert!(l1 < l0 * 0.5, "loss should drop: {l0} -> {l1}");
+        assert!(net.accuracy(&x, &y) >= 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let net = Mlp::new(&[3, 4], 0);
+        let x = Matrix::zeros(2, 5);
+        net.forward(&x);
+    }
+}

@@ -1,0 +1,198 @@
+//! Stochastic gradient descent, optionally with momentum.
+//!
+//! The paper's training configuration is plain SGD (Sec. 2: "such a
+//! training configuration is commonly used in production DDNN training");
+//! momentum is provided because the convergence-shape tests also exercise
+//! it (the paper notes its loss-fitting method extends to other
+//! optimizers).
+
+/// A first-order optimizer over flat parameter vectors.
+pub trait Optimizer {
+    /// Applies one update in place.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        Sgd::step(self, params, grads)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        Adam::step(self, params, grads)
+    }
+}
+
+/// An SGD optimizer operating on flat parameter vectors.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Sgd {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Sgd {
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0,1)");
+        Sgd {
+            momentum,
+            ..Sgd::new(lr)
+        }
+    }
+
+    /// Applies one update in place: `p ← p − lr·(v ← μ·v + g)`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad size mismatch");
+        if self.momentum == 0.0 {
+            for (p, g) in params.iter_mut().zip(grads) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba). The paper notes its loss-fitting
+/// method extends to "other optimization methods (e.g., Adam)"; the
+/// integration tests fit Eq. (1) to Adam-trained curves to back that up.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+impl Adam {
+    /// Adam with the canonical defaults (β1=0.9, β2=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Adam {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Applies one bias-corrected Adam update in place.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "param/grad size mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![1.0, 2.0];
+        opt.step(&mut p, &[10.0, -10.0]);
+        assert_eq!(p, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::with_momentum(0.1, 0.5);
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[1.0]); // v=1, p=-0.1
+        opt.step(&mut p, &[1.0]); // v=1.5, p=-0.25
+        assert!((p[0] + 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x-3)^2, gradient 2(x-3).
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![0.0f32];
+        for _ in 0..100 {
+            let g = 2.0 * (p[0] - 3.0);
+            opt.step(&mut p, &[g]);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let mut p = vec![0.0f32];
+        for _ in 0..300 {
+            let g = 2.0 * (p[0] - 3.0);
+            opt.step(&mut p, &[g]);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-2, "{}", p[0]);
+    }
+
+    #[test]
+    fn adam_first_step_has_unit_scale() {
+        // Bias correction makes the very first step ≈ lr regardless of
+        // gradient magnitude.
+        for g in [0.001f32, 1.0, 1000.0] {
+            let mut opt = Adam::new(0.1);
+            let mut p = vec![0.0f32];
+            opt.step(&mut p, &[g]);
+            assert!(
+                (p[0] + 0.1).abs() < 1e-3,
+                "g={g}: first step {} should be ≈ -lr",
+                p[0]
+            );
+        }
+    }
+
+    #[test]
+    fn adam_handles_resized_parameter_vectors() {
+        let mut opt = Adam::new(0.1);
+        let mut p = vec![0.0f32; 2];
+        opt.step(&mut p, &[1.0, 1.0]);
+        // A new parameter size resets state rather than panicking.
+        let mut q = vec![0.0f32; 3];
+        opt.step(&mut q, &[1.0, 1.0, 1.0]);
+        assert_eq!(q.len(), 3);
+    }
+}

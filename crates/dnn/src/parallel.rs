@@ -1,0 +1,280 @@
+//! A real in-memory parameter server with threaded workers.
+//!
+//! This is the statistical companion to the discrete-event simulator: an
+//! actual data-parallel SGD implementation whose workers are OS threads
+//! (crossbeam scoped) sharing a parameter vector:
+//!
+//! * **BSP** — all workers compute gradients on disjoint minibatch shards,
+//!   meet at a barrier, and worker 0 applies the aggregated (averaged)
+//!   gradient — one global update per round, deterministic.
+//! * **ASP** — workers pull, compute, and apply independently under a
+//!   mutex; the *real* parameter staleness of every update is recorded.
+//!   This is the mechanism behind the paper's √n convergence penalty
+//!   (Summary 2 / Eq. 1).
+
+use crate::data::Blobs;
+use crate::network::Mlp;
+use parking_lot::Mutex;
+use std::sync::Barrier;
+
+/// Synchronization mode of the threaded trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsMode {
+    Bsp,
+    Asp,
+}
+
+/// Configuration for [`train_parameter_server`].
+#[derive(Debug, Clone, Copy)]
+pub struct PsTrainConfig {
+    pub mode: PsMode,
+    pub n_workers: usize,
+    /// Global updates to perform (BSP rounds, or ASP commits).
+    pub iterations: u64,
+    /// Per-worker minibatch size.
+    pub batch: usize,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+/// Outcome of a threaded PS run.
+#[derive(Debug, Clone)]
+pub struct PsOutcome {
+    /// `(global update, minibatch loss at that update)` in commit order.
+    pub loss_curve: Vec<(u64, f64)>,
+    /// Staleness (missed updates) per ASP commit; empty for BSP.
+    pub staleness: Vec<u64>,
+    /// Final parameters.
+    pub params: Vec<f32>,
+}
+
+impl PsOutcome {
+    /// Mean staleness across commits (0 for BSP).
+    pub fn mean_staleness(&self) -> f64 {
+        if self.staleness.is_empty() {
+            0.0
+        } else {
+            self.staleness.iter().sum::<u64>() as f64 / self.staleness.len() as f64
+        }
+    }
+
+    /// Mean loss over the last `k` commits (tail average tames minibatch
+    /// noise).
+    pub fn tail_loss(&self, k: usize) -> f64 {
+        let n = self.loss_curve.len();
+        let k = k.min(n).max(1);
+        self.loss_curve[n - k..]
+            .iter()
+            .map(|(_, l)| l)
+            .sum::<f64>()
+            / k as f64
+    }
+}
+
+struct PsState {
+    params: Vec<f32>,
+    version: u64,
+    loss_curve: Vec<(u64, f64)>,
+    staleness: Vec<u64>,
+}
+
+/// Trains an MLP with the given layer `dims` on `data` using `cfg.n_workers`
+/// real worker threads against a shared parameter server.
+pub fn train_parameter_server(dims: &[usize], data: &Blobs, cfg: &PsTrainConfig) -> PsOutcome {
+    assert!(cfg.n_workers >= 1, "need at least one worker");
+    assert!(cfg.iterations >= 1);
+    let template = Mlp::new(dims, cfg.seed);
+    match cfg.mode {
+        PsMode::Bsp => train_bsp(template, data, cfg),
+        PsMode::Asp => train_asp(template, data, cfg),
+    }
+}
+
+fn train_bsp(template: Mlp, data: &Blobs, cfg: &PsTrainConfig) -> PsOutcome {
+    let n = cfg.n_workers;
+    let barrier = Barrier::new(n);
+    let grads: Vec<Mutex<Vec<f32>>> = (0..n)
+        .map(|_| Mutex::new(vec![0.0f32; template.param_count()]))
+        .collect();
+    let losses: Vec<Mutex<f32>> = (0..n).map(|_| Mutex::new(0.0)).collect();
+    let state = Mutex::new(PsState {
+        params: template.params().to_vec(),
+        version: 0,
+        loss_curve: Vec::new(),
+        staleness: Vec::new(),
+    });
+
+    crossbeam::thread::scope(|scope| {
+        for j in 0..n {
+            let barrier = &barrier;
+            let grads = &grads;
+            let losses = &losses;
+            let state = &state;
+            let template = &template;
+            scope.spawn(move |_| {
+                let mut net = template.clone();
+                for step in 0..cfg.iterations {
+                    {
+                        let s = state.lock();
+                        net.set_params(&s.params);
+                    }
+                    let (x, y) = data.worker_batch(j, n, step as usize, cfg.batch);
+                    let (loss, g) = net.loss_and_grad(&x, &y);
+                    *grads[j].lock() = g;
+                    *losses[j].lock() = loss;
+                    barrier.wait();
+                    if j == 0 {
+                        // Deterministic aggregation in worker order.
+                        let mut s = state.lock();
+                        let mut mean_loss = 0.0f64;
+                        for w in 0..n {
+                            let g = grads[w].lock();
+                            for (p, gi) in s.params.iter_mut().zip(g.iter()) {
+                                *p -= cfg.lr * gi / n as f32;
+                            }
+                            mean_loss += *losses[w].lock() as f64 / n as f64;
+                        }
+                        s.version += 1;
+                        let v = s.version;
+                        s.loss_curve.push((v, mean_loss));
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    })
+    .expect("a BSP worker thread panicked");
+
+    let s = state.into_inner();
+    PsOutcome {
+        loss_curve: s.loss_curve,
+        staleness: s.staleness,
+        params: s.params,
+    }
+}
+
+fn train_asp(template: Mlp, data: &Blobs, cfg: &PsTrainConfig) -> PsOutcome {
+    let n = cfg.n_workers;
+    let state = Mutex::new(PsState {
+        params: template.params().to_vec(),
+        version: 0,
+        loss_curve: Vec::new(),
+        staleness: Vec::new(),
+    });
+
+    crossbeam::thread::scope(|scope| {
+        for j in 0..n {
+            let state = &state;
+            let template = &template;
+            scope.spawn(move |_| {
+                let mut net = template.clone();
+                let mut step = 0usize;
+                loop {
+                    // Pull.
+                    let seen = {
+                        let s = state.lock();
+                        if s.version >= cfg.iterations {
+                            break;
+                        }
+                        net.set_params(&s.params);
+                        s.version
+                    };
+                    // Compute on this worker's shard.
+                    let (x, y) = data.worker_batch(j, n, step, cfg.batch);
+                    step += 1;
+                    let (loss, g) = net.loss_and_grad(&x, &y);
+                    // Push: apply whatever the current parameters are.
+                    let mut s = state.lock();
+                    if s.version >= cfg.iterations {
+                        break;
+                    }
+                    for (p, gi) in s.params.iter_mut().zip(&g) {
+                        *p -= cfg.lr * gi;
+                    }
+                    let stale = s.version - seen;
+                    s.version += 1;
+                    let v = s.version;
+                    s.staleness.push(stale);
+                    s.loss_curve.push((v, loss as f64));
+                }
+            });
+        }
+    })
+    .expect("an ASP worker thread panicked");
+
+    let s = state.into_inner();
+    PsOutcome {
+        loss_curve: s.loss_curve,
+        staleness: s.staleness,
+        params: s.params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Blobs {
+        Blobs::generate(512, 12, 4, 0.5, 21)
+    }
+
+    fn cfg(mode: PsMode, n: usize, iters: u64) -> PsTrainConfig {
+        PsTrainConfig {
+            mode,
+            n_workers: n,
+            iterations: iters,
+            batch: 32,
+            lr: 0.15,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn bsp_converges_and_is_deterministic() {
+        let data = blobs();
+        let a = train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Bsp, 4, 150));
+        let b = train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Bsp, 4, 150));
+        assert_eq!(a.params, b.params, "BSP must be deterministic");
+        assert_eq!(a.loss_curve.len(), 150);
+        assert!(a.tail_loss(20) < a.loss_curve[0].1 * 0.5);
+        assert!(a.staleness.is_empty());
+    }
+
+    #[test]
+    fn bsp_loss_trajectory_is_worker_count_invariant_in_shape() {
+        // Same number of global updates, same per-worker batch: more
+        // workers = bigger effective batch, still converging to a similar
+        // tail loss (the paper's Fig. 4(a) observation).
+        let data = blobs();
+        let a = train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Bsp, 2, 200));
+        let b = train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Bsp, 6, 200));
+        let (ta, tb) = (a.tail_loss(30), b.tail_loss(30));
+        assert!(
+            (ta - tb).abs() < 0.25,
+            "BSP tails should be close: {ta} vs {tb}"
+        );
+    }
+
+    #[test]
+    fn asp_commits_exactly_the_target_and_records_staleness() {
+        let data = blobs();
+        let out = train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Asp, 4, 200));
+        assert_eq!(out.loss_curve.len(), 200);
+        assert_eq!(out.staleness.len(), 200);
+        assert!(out.tail_loss(30) < out.loss_curve[0].1, "still converges");
+    }
+
+    #[test]
+    fn asp_staleness_grows_with_worker_count() {
+        let data = blobs();
+        let s2 = train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Asp, 2, 300))
+            .mean_staleness();
+        let s8 = train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Asp, 8, 300))
+            .mean_staleness();
+        assert!(
+            s8 > s2,
+            "more workers must mean more missed updates: {s2} vs {s8}"
+        );
+        assert!(s8 > 0.5, "8 ASP workers should observe real staleness: {s8}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Single-node SGD training.
+
+use crate::data::Blobs;
+use crate::network::Mlp;
+use crate::optimizer::Optimizer;
+
+/// Result of a training run: the per-iteration loss curve.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// `(iteration, minibatch loss)` — iteration is 1-based.
+    pub loss_curve: Vec<(u64, f64)>,
+    pub final_accuracy: f64,
+}
+
+/// Trains `net` on `data` for `iterations` minibatch SGD steps.
+pub fn train_single_node<O: Optimizer>(
+    net: &mut Mlp,
+    data: &Blobs,
+    opt: &mut O,
+    iterations: u64,
+    batch: usize,
+) -> TrainOutcome {
+    let mut curve = Vec::with_capacity(iterations as usize);
+    let mut params = net.params().to_vec();
+    for it in 0..iterations {
+        let (x, y) = data.minibatch(it as usize, batch);
+        net.set_params(&params);
+        let (loss, grads) = net.loss_and_grad(&x, &y);
+        opt.step(&mut params, &grads);
+        curve.push((it + 1, loss as f64));
+    }
+    net.set_params(&params);
+    let (x, y) = data.minibatch(0, data.len().min(512));
+    TrainOutcome {
+        loss_curve: curve,
+        final_accuracy: net.accuracy(&x, &y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Sgd;
+
+    #[test]
+    fn training_converges_on_separable_blobs() {
+        let data = Blobs::generate(512, 16, 4, 0.3, 11);
+        let mut net = Mlp::new(&[16, 32, 4], 1);
+        let mut opt = Sgd::new(0.2);
+        let out = train_single_node(&mut net, &data, &mut opt, 300, 64);
+        let first = out.loss_curve[0].1;
+        let last = out.loss_curve.last().unwrap().1;
+        assert!(last < first * 0.3, "loss {first} -> {last}");
+        assert!(out.final_accuracy > 0.9, "accuracy {}", out.final_accuracy);
+    }
+
+    #[test]
+    fn loss_curve_has_hyperbolic_shape() {
+        // Fit loss = b0/s + b1 by least squares on the measured curve and
+        // require a decent R² — the empirical basis of the paper's Eq. (1).
+        let data = Blobs::generate(1024, 16, 4, 0.6, 5);
+        let mut net = Mlp::new(&[16, 32, 4], 2);
+        let mut opt = Sgd::new(0.1);
+        let out = train_single_node(&mut net, &data, &mut opt, 800, 64);
+        // Skip the warm-up plateau; smooth with a short moving average to
+        // tame minibatch noise.
+        let smoothed: Vec<(f64, f64)> = out
+            .loss_curve
+            .windows(10)
+            .step_by(10)
+            .map(|w| {
+                let s = w[w.len() / 2].0 as f64;
+                let l = w.iter().map(|(_, l)| l).sum::<f64>() / w.len() as f64;
+                (1.0 / s, l)
+            })
+            .skip(2)
+            .collect();
+        let n = smoothed.len() as f64;
+        let mx = smoothed.iter().map(|(x, _)| x).sum::<f64>() / n;
+        let my = smoothed.iter().map(|(_, y)| y).sum::<f64>() / n;
+        let sxx: f64 = smoothed.iter().map(|(x, _)| (x - mx).powi(2)).sum();
+        let sxy: f64 = smoothed.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+        let b0 = sxy / sxx;
+        let b1 = my - b0 * mx;
+        let ss_res: f64 = smoothed
+            .iter()
+            .map(|(x, y)| (y - (b0 * x + b1)).powi(2))
+            .sum();
+        let ss_tot: f64 = smoothed.iter().map(|(_, y)| (y - my).powi(2)).sum();
+        let r2 = 1.0 - ss_res / ss_tot;
+        assert!(b0 > 0.0, "decay constant must be positive: {b0}");
+        assert!(
+            r2 > 0.7,
+            "1/s fit should explain most of the variance: R²={r2}"
+        );
+    }
+}

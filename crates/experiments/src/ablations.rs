@@ -1,0 +1,194 @@
+//! Ablation study — what each ingredient of the Cynthia model buys.
+//!
+//! DESIGN.md calls out three design choices; this experiment quantifies
+//! each one's contribution to prediction accuracy against the ground-truth
+//! simulator:
+//!
+//! * **overlap** — Eq. (3)'s `max(comp, comm)` for BSP vs the additive
+//!   composition the baselines use.
+//! * **bottleneck** — the PS service-bandwidth term (CPU-ingest bound +
+//!   ASP closed-network queueing) vs bandwidth-only Eq. (5).
+//! * **bounds** — Theorem 4.1's search-band narrowing: candidates
+//!   evaluated with and without it (Sec. 5.3's complexity claim).
+
+use crate::common::{render_table, ExpConfig};
+use cynthia_core::perf_model::{ClusterShape, CynthiaModel, PerfModel};
+use cynthia_core::profiler::profile_workload;
+use cynthia_core::provisioner::{plan, Goal, PlannerOptions};
+use cynthia_models::Workload;
+use cynthia_sim::metrics::mape;
+use cynthia_train::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelAblationRow {
+    pub workload: String,
+    /// Mean absolute prediction error over the sweep, per variant.
+    pub full_mape: f64,
+    pub no_overlap_mape: f64,
+    pub no_bottleneck_mape: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct BoundsAblation {
+    pub with_bounds_candidates: u32,
+    pub without_bounds_candidates: u32,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Ablations {
+    pub model_rows: Vec<ModelAblationRow>,
+    pub bounds: BoundsAblation,
+}
+
+fn model_row(cfg: &ExpConfig, workload: &Workload, counts: &[u32], iterations: u64) -> ModelAblationRow {
+    let w = workload.clone().with_iterations(iterations);
+    let profile = profile_workload(&w, cfg.m4(), cfg.seed);
+    let full = CynthiaModel::new(profile.clone());
+    let no_overlap = CynthiaModel {
+        overlap: false,
+        ..full.clone()
+    };
+    let no_bottleneck = CynthiaModel {
+        bottleneck_aware: false,
+        ..full.clone()
+    };
+    let mut observed = Vec::new();
+    let mut preds: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for &n in counts {
+        let obs = cfg
+            .time_stats(&w, &ClusterSpec::homogeneous(cfg.m4(), n, 1))
+            .mean;
+        observed.push(obs);
+        let shape = ClusterShape::homogeneous(cfg.m4(), n, 1);
+        preds[0].push(full.predict_time(&shape, w.iterations));
+        preds[1].push(no_overlap.predict_time(&shape, w.iterations));
+        preds[2].push(no_bottleneck.predict_time(&shape, w.iterations));
+    }
+    ModelAblationRow {
+        workload: w.id(),
+        full_mape: mape(&preds[0], &observed),
+        no_overlap_mape: mape(&preds[1], &observed),
+        no_bottleneck_mape: mape(&preds[2], &observed),
+    }
+}
+
+/// Runs the ablation sweeps.
+pub fn run(cfg: &ExpConfig) -> Ablations {
+    let iters = if cfg.quick { 1000 } else { 4000 };
+    let model_rows = vec![
+        model_row(cfg, &Workload::mnist_bsp(), &[2, 4, 8], iters),
+        model_row(cfg, &Workload::cifar10_bsp(), &[4, 9, 13], iters.min(2000)),
+        model_row(
+            cfg,
+            &Workload::vgg19_asp(),
+            &[7, 9, 12],
+            if cfg.quick { 300 } else { 1000 },
+        ),
+    ];
+
+    let w = Workload::cifar10_bsp();
+    let profile = profile_workload(&w, cfg.m4(), cfg.seed);
+    let loss = cynthia_core::loss_model::FittedLossModel {
+        sync: w.sync,
+        beta0: w.convergence.beta0,
+        beta1: w.convergence.beta1,
+        r_squared: 1.0,
+    };
+    let goal = Goal {
+        deadline_secs: 3600.0,
+        target_loss: 0.7,
+    };
+    let with_bounds = plan(&profile, &loss, &cfg.catalog, &goal, &PlannerOptions::default())
+        .map(|p| p.candidates_evaluated)
+        .unwrap_or(0);
+    let without_bounds = plan(
+        &profile,
+        &loss,
+        &cfg.catalog,
+        &goal,
+        &PlannerOptions {
+            use_bounds: false,
+            max_workers: 64,
+            ..PlannerOptions::default()
+        },
+    )
+    .map(|p| p.candidates_evaluated)
+    .unwrap_or(0);
+
+    Ablations {
+        model_rows,
+        bounds: BoundsAblation {
+            with_bounds_candidates: with_bounds,
+            without_bounds_candidates: without_bounds,
+        },
+    }
+}
+
+impl Ablations {
+    /// Renders both studies.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .model_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    format!("{:.1}%", r.full_mape * 100.0),
+                    format!("{:.1}%", r.no_overlap_mape * 100.0),
+                    format!("{:.1}%", r.no_bottleneck_mape * 100.0),
+                ]
+            })
+            .collect();
+        format!(
+            "Ablations: prediction MAPE by model variant\n{}\nTheorem 4.1 bounds: {} candidates evaluated vs {} without\n",
+            render_table(
+                &["workload", "full", "no-overlap", "no-bottleneck"],
+                &rows
+            ),
+            self.bounds.with_bounds_candidates,
+            self.bounds.without_bounds_candidates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ingredient_helps_where_it_should() {
+        let cfg = ExpConfig::quick();
+        let a = run(&cfg);
+        // Overlap matters for the BSP workloads.
+        for r in &a.model_rows {
+            assert!(
+                r.full_mape < 0.12,
+                "{}: full model error {:.1}%",
+                r.workload,
+                r.full_mape * 100.0
+            );
+            if r.workload.contains("BSP") {
+                assert!(
+                    r.no_overlap_mape > r.full_mape,
+                    "{}: overlap ablation should hurt ({:.3} vs {:.3})",
+                    r.workload,
+                    r.no_overlap_mape,
+                    r.full_mape
+                );
+            }
+        }
+        // Bottleneck awareness matters for mnist (CPU-bound PS) and VGG
+        // (NIC saturation + queueing).
+        let mnist = &a.model_rows[0];
+        assert!(mnist.no_bottleneck_mape > 2.0 * mnist.full_mape, "{mnist:?}");
+        let vgg = &a.model_rows[2];
+        assert!(vgg.no_bottleneck_mape > vgg.full_mape, "{vgg:?}");
+        // Bounds shrink the search space by a lot.
+        assert!(
+            a.bounds.with_bounds_candidates * 2 < a.bounds.without_bounds_candidates,
+            "{:?}",
+            a.bounds
+        );
+    }
+}

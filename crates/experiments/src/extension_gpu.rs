@@ -1,0 +1,149 @@
+//! Extension — the paper's future work (Sec. 7): ResNet-50 on ImageNet
+//! and GPU clusters.
+//!
+//! The framework needs no new mechanisms: GPU instances are catalog
+//! entries whose capabilities live in the same capability-table units as
+//! the CPU types, so one profile (taken on a p2.xlarge baseline)
+//! transfers across the whole catalog exactly like Fig. 8's cross-type
+//! prediction. The experiment asks for ResNet-50/BSP to a target loss
+//! within a deadline and compares:
+//!
+//! * the CPU-only catalog — infeasible at any sane scale (per-iteration
+//!   work is ~300 capability-GFLOP), and
+//! * the GPU catalog — where Algorithm 1 picks a small V100 or K80
+//!   cluster, which the ground-truth simulator then validates.
+
+use crate::common::{render_table, ExpConfig};
+use cynthia_cloud::catalog::gpu_catalog;
+use cynthia_core::loss_model::FittedLossModel;
+use cynthia_core::profiler::profile_workload;
+use cynthia_core::provisioner::{plan, Goal, Plan, PlannerOptions};
+use cynthia_models::Workload;
+use cynthia_train::{simulate, ClusterSpec, TrainJob};
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtensionGpu {
+    /// Plan from the CPU-only catalog (expected `None` for tight goals).
+    pub cpu_plan: Option<Plan>,
+    /// Plan from the GPU-extended catalog.
+    pub gpu_plan: Option<Plan>,
+    /// Simulated wall-clock of the GPU plan.
+    pub gpu_actual_time_s: f64,
+    /// Simulated final loss under the GPU plan.
+    pub gpu_actual_loss: f64,
+    pub goal_deadline_s: f64,
+    pub goal_loss: f64,
+    pub met: bool,
+}
+
+/// Provision ResNet-50/BSP to loss ≤ 2.5 within 24 hours.
+pub fn run(cfg: &ExpConfig) -> ExtensionGpu {
+    let workload = Workload::resnet50_bsp();
+    let goal = Goal {
+        deadline_secs: 24.0 * 3600.0,
+        target_loss: 2.5,
+    };
+    let catalog = gpu_catalog();
+    // Profile once on the GPU baseline (p2.xlarge); the capability table
+    // carries the prediction to every other type, CPU or GPU.
+    let profile = profile_workload(&workload, catalog.expect("p2.xlarge"), cfg.seed);
+    let loss = FittedLossModel {
+        sync: workload.sync,
+        beta0: workload.convergence.beta0,
+        beta1: workload.convergence.beta1,
+        r_squared: 1.0,
+    };
+    let opts = PlannerOptions::default();
+    let cpu_plan = plan(
+        &profile,
+        &loss,
+        &cynthia_cloud::default_catalog(),
+        &goal,
+        &opts,
+    );
+    let gpu_plan = plan(&profile, &loss, &catalog, &goal, &opts);
+
+    let (actual_time, actual_loss, met) = match &gpu_plan {
+        Some(p) => {
+            let ty = catalog.expect(&p.type_name);
+            let configured = workload.clone().with_iterations(p.total_updates);
+            let report = simulate(&TrainJob {
+                workload: &configured,
+                cluster: ClusterSpec::homogeneous(ty, p.n_workers, p.n_ps),
+                config: cfg.sim(0),
+            });
+            (
+                report.total_time,
+                report.final_loss,
+                report.total_time <= goal.deadline_secs
+                    && report.final_loss <= goal.target_loss * 1.05,
+            )
+        }
+        None => (f64::NAN, f64::NAN, false),
+    };
+    ExtensionGpu {
+        cpu_plan,
+        gpu_plan,
+        gpu_actual_time_s: actual_time,
+        gpu_actual_loss: actual_loss,
+        goal_deadline_s: goal.deadline_secs,
+        goal_loss: goal.target_loss,
+        met,
+    }
+}
+
+impl ExtensionGpu {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let fmt_plan = |p: &Option<Plan>| match p {
+            Some(p) => vec![
+                format!("{}×{} + {}ps", p.n_workers, p.type_name, p.n_ps),
+                format!("{:.0}", p.predicted_time),
+                format!("{:.2}", p.predicted_cost),
+            ],
+            None => vec!["infeasible".into(), "-".into(), "-".into()],
+        };
+        let mut rows = Vec::new();
+        let mut cpu = vec!["CPU catalog".to_string()];
+        cpu.extend(fmt_plan(&self.cpu_plan));
+        rows.push(cpu);
+        let mut gpu = vec!["GPU catalog".to_string()];
+        gpu.extend(fmt_plan(&self.gpu_plan));
+        rows.push(gpu);
+        format!(
+            "Extension (Sec. 7): ResNet-50/ImageNet to loss ≤ {} within {:.0}h\n{}\
+             GPU plan executed: {:.0}s, final loss {:.2} -> goal met: {}\n",
+            self.goal_loss,
+            self.goal_deadline_s / 3600.0,
+            render_table(&["catalog", "plan", "pred time(s)", "pred cost($)"], &rows),
+            self.gpu_actual_time_s,
+            self.gpu_actual_loss,
+            self.met
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpus_unlock_the_imagenet_goal() {
+        let cfg = ExpConfig::quick();
+        let e = run(&cfg);
+        assert!(
+            e.cpu_plan.is_none(),
+            "a 24h ImageNet deadline should exceed the CPU catalog: {:?}",
+            e.cpu_plan
+        );
+        let gpu = e.gpu_plan.as_ref().expect("GPU catalog must be feasible");
+        assert!(
+            gpu.type_name.starts_with('p'),
+            "planner should pick a GPU type: {gpu:?}"
+        );
+        assert!(e.met, "simulated run must meet the goal: {e:?}");
+        // Small cluster, not a fleet: GPUs change the economics.
+        assert!(gpu.n_workers <= 16, "{gpu:?}");
+    }
+}

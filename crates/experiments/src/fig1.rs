@@ -1,0 +1,109 @@
+//! Fig. 1 — training time of (a) ResNet-32/ASP and (b) mnist DNN/BSP in
+//! homogeneous and heterogeneous clusters.
+//!
+//! Shapes reproduced:
+//! * (a) ASP time keeps decreasing as workers are added.
+//! * (b) BSP time first decreases then increases (the PS bottleneck
+//!   U-shape).
+//! * Heterogeneous clusters (⌊n/2⌋ m1.xlarge stragglers) are slower —
+//!   the paper reports up to 84%.
+
+use crate::common::{ExpConfig, Measure, render_table};
+use cynthia_models::Workload;
+use cynthia_train::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    pub n_workers: u32,
+    pub homogeneous: Measure,
+    pub heterogeneous: Measure,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1 {
+    /// (a) ResNet-32 with ASP.
+    pub resnet_asp: Vec<Point>,
+    /// (b) mnist DNN with BSP.
+    pub mnist_bsp: Vec<Point>,
+}
+
+fn sweep(cfg: &ExpConfig, workload: &Workload, counts: &[u32]) -> Vec<Point> {
+    counts
+        .iter()
+        .map(|&n| {
+            let homo = ClusterSpec::homogeneous(cfg.m4(), n, 1);
+            let hetero = ClusterSpec::heterogeneous(cfg.m4(), cfg.m1(), n, 1);
+            Point {
+                n_workers: n,
+                homogeneous: cfg.time_stats(workload, &homo).into(),
+                heterogeneous: cfg.time_stats(workload, &hetero).into(),
+            }
+        })
+        .collect()
+}
+
+/// Runs both panels.
+pub fn run(cfg: &ExpConfig) -> Fig1 {
+    let resnet = Workload::resnet32_asp();
+    let mnist = Workload::mnist_bsp();
+    Fig1 {
+        resnet_asp: sweep(cfg, &resnet, &[4, 7, 9]),
+        mnist_bsp: sweep(cfg, &mnist, &[1, 2, 4, 8]),
+    }
+}
+
+impl Fig1 {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let panel = |title: &str, pts: &[Point]| {
+            let rows: Vec<Vec<String>> = pts
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.n_workers.to_string(),
+                        p.homogeneous.to_string(),
+                        p.heterogeneous.to_string(),
+                    ]
+                })
+                .collect();
+            format!(
+                "{title}\n{}",
+                render_table(&["workers", "homogeneous(s)", "heterogeneous(s)"], &rows)
+            )
+        };
+        format!(
+            "{}\n{}",
+            panel("Fig. 1(a) ResNet-32 / ASP training time", &self.resnet_asp),
+            panel("Fig. 1(b) mnist DNN / BSP training time", &self.mnist_bsp)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shapes_hold() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        // (a) ASP keeps improving.
+        let a: Vec<f64> = f.resnet_asp.iter().map(|p| p.homogeneous.mean).collect();
+        assert!(a[2] < a[1] && a[1] < a[0], "ASP should scale: {a:?}");
+        // (b) BSP has a U: 8 workers worse than the best.
+        let b: Vec<f64> = f.mnist_bsp.iter().map(|p| p.homogeneous.mean).collect();
+        let best = b.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(b[0] > best && *b.last().unwrap() > best, "U-shape: {b:?}");
+        // Heterogeneity slows things down where stragglers exist (n ≥ 2).
+        for p in f.resnet_asp.iter().chain(f.mnist_bsp.iter()) {
+            if p.n_workers >= 2 {
+                assert!(
+                    p.heterogeneous.mean > p.homogeneous.mean,
+                    "stragglers must hurt at n={}",
+                    p.n_workers
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Fig. 10 — prediction accuracy with multiple PS nodes (1/2/4).
+//!
+//! Shapes reproduced:
+//! * (a) ResNet-32 / ASP: extra PS nodes barely help (the workload cannot
+//!   saturate one PS).
+//! * (b) mnist DNN / BSP: extra PS nodes relieve the CPU/NIC bottleneck
+//!   and visibly speed training at high worker counts.
+//! * Cynthia's predictions track both, which is what justifies Theorem
+//!   4.1's minimum-PS rule.
+
+use crate::common::{pct, rel_err, render_table, ExpConfig};
+use cynthia_core::perf_model::{ClusterShape, CynthiaModel, PerfModel};
+use cynthia_core::profiler::profile_workload;
+use cynthia_models::Workload;
+use cynthia_train::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub n_ps: u32,
+    pub n_workers: u32,
+    pub observed_s: f64,
+    pub cynthia_s: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    pub workload: String,
+    pub rows: Vec<Row>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    pub resnet_asp: Panel,
+    pub mnist_bsp: Panel,
+}
+
+fn panel(cfg: &ExpConfig, workload: &Workload, counts: &[u32], iterations: u64) -> Panel {
+    let w = workload.clone().with_iterations(iterations);
+    let profile = profile_workload(&w, cfg.m4(), cfg.seed);
+    let model = CynthiaModel::new(profile);
+    let mut rows = Vec::new();
+    for &n_ps in &[1u32, 2, 4] {
+        for &n in counts {
+            let spec = ClusterSpec::homogeneous(cfg.m4(), n, n_ps);
+            let observed = cfg.time_stats(&w, &spec).mean;
+            let shape = ClusterShape::homogeneous(cfg.m4(), n, n_ps);
+            rows.push(Row {
+                n_ps,
+                n_workers: n,
+                observed_s: observed,
+                cynthia_s: model.predict_time(&shape, w.iterations),
+            });
+        }
+    }
+    Panel {
+        workload: w.id(),
+        rows,
+    }
+}
+
+/// Runs both panels.
+pub fn run(cfg: &ExpConfig) -> Fig10 {
+    let resnet_iters = if cfg.quick { 300 } else { 3000 };
+    let mnist_iters = if cfg.quick { 2000 } else { 10_000 };
+    Fig10 {
+        resnet_asp: panel(cfg, &Workload::resnet32_asp(), &[4, 7, 9], resnet_iters),
+        mnist_bsp: panel(cfg, &Workload::mnist_bsp(), &[4, 8, 16], mnist_iters),
+    }
+}
+
+impl Fig10 {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let render_panel = |p: &Panel| {
+            let rows: Vec<Vec<String>> = p
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.n_ps.to_string(),
+                        r.n_workers.to_string(),
+                        format!("{:.0}", r.observed_s),
+                        format!(
+                            "{:.0} ({})",
+                            r.cynthia_s,
+                            pct(rel_err(r.cynthia_s, r.observed_s))
+                        ),
+                    ]
+                })
+                .collect();
+            format!(
+                "{}\n{}",
+                p.workload,
+                render_table(&["PS", "workers", "observed(s)", "Cynthia"], &rows)
+            )
+        };
+        format!(
+            "Fig. 10: multi-PS prediction\n(a) {}\n(b) {}",
+            render_panel(&self.resnet_asp),
+            render_panel(&self.mnist_bsp)
+        )
+    }
+
+    #[cfg(test)]
+    fn time(panel: &Panel, n_ps: u32, n: u32) -> f64 {
+        panel
+            .rows
+            .iter()
+            .find(|r| r.n_ps == n_ps && r.n_workers == n)
+            .map(|r| r.observed_s)
+            .expect("row exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extra_ps_helps_mnist_but_not_resnet() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        // (b) mnist at 16 workers: 4 PS much faster than 1 PS.
+        let m1 = Fig10::time(&f.mnist_bsp, 1, 16);
+        let m4 = Fig10::time(&f.mnist_bsp, 4, 16);
+        assert!(m4 < 0.6 * m1, "4 PS should relieve mnist: {m1} vs {m4}");
+        // (a) ResNet at 9 workers: 4 PS barely moves the needle.
+        let r1 = Fig10::time(&f.resnet_asp, 1, 9);
+        let r4 = Fig10::time(&f.resnet_asp, 4, 9);
+        assert!(
+            r4 > 0.85 * r1,
+            "extra PS should barely help ResNet ASP: {r1} vs {r4}"
+        );
+    }
+
+    #[test]
+    fn predictions_track_multi_ps_configurations() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        for r in f.resnet_asp.rows.iter().chain(&f.mnist_bsp.rows) {
+            let e = rel_err(r.cynthia_s, r.observed_s).abs();
+            assert!(
+                e < 0.15,
+                "nps={} n={}: {:.1}% ({} vs {})",
+                r.n_ps,
+                r.n_workers,
+                e * 100.0,
+                r.cynthia_s,
+                r.observed_s
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 12 — varying the target loss (0.8/0.7/0.6) for the cifar10 DNN
+//! with BSP under a 60-minute deadline.
+//!
+//! Shapes reproduced:
+//! * Tighter loss targets need more iterations, hence more resources.
+//! * At the tightest target Cynthia provisions a second PS node to keep
+//!   communication off the critical path (the paper's headline moment),
+//!   while Optimus either misses the deadline or pays substantially more
+//!   — the paper reports 4.2–50.6% savings.
+
+use crate::common::ExpConfig;
+use crate::fig11::{render_rows, run_goals, GoalRow};
+use cynthia_models::Workload;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12 {
+    pub rows: Vec<GoalRow>,
+}
+
+/// Runs the target-loss sweep.
+pub fn run(cfg: &ExpConfig) -> Fig12 {
+    let cifar = Workload::cifar10_bsp();
+    let rows = run_goals(
+        cfg,
+        &cifar,
+        &[(3600.0, 0.8), (3600.0, 0.7), (3600.0, 0.6)],
+    );
+    Fig12 { rows }
+}
+
+impl Fig12 {
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        render_rows(
+            "Fig. 12: cifar10 DNN / BSP under a 60-min deadline, loss targets 0.8/0.7/0.6",
+            &self.rows,
+        )
+    }
+
+    /// Cynthia's cost saving vs Optimus per goal (NaN when Optimus is
+    /// infeasible).
+    pub fn savings(&self) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|r| 1.0 - r.cynthia.cost_usd / r.optimus.cost_usd)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighter_loss_targets_escalate_resources() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        assert_eq!(f.rows.len(), 3);
+        for r in &f.rows {
+            assert!(r.cynthia.met_deadline, "{:?}", r.cynthia);
+        }
+        // Resource escalation with tighter targets.
+        let nodes: Vec<u32> = f
+            .rows
+            .iter()
+            .map(|r| r.cynthia.n_workers + r.cynthia.n_ps)
+            .collect();
+        assert!(
+            nodes[2] > nodes[0],
+            "loss 0.6 should need more nodes than 0.8: {nodes:?}"
+        );
+        // The tightest goal pushes Cynthia to 2 PS (the paper's story).
+        assert!(
+            f.rows[2].cynthia.n_ps >= 2,
+            "expected a second PS at loss 0.6: {:?}",
+            f.rows[2].cynthia
+        );
+    }
+}

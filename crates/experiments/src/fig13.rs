@@ -1,0 +1,64 @@
+//! Fig. 13 — ASP goal attainment and cost: VGG-19 with target loss 0.8
+//! under 30/60/90-minute deadlines.
+//!
+//! Shapes reproduced:
+//! * Cynthia meets every deadline; for tight deadlines it provisions
+//!   enough capacity to clear the PS NIC saturation (adding PS nodes
+//!   when needed).
+//! * Optimus, blind to the saturation floor, under-provisions for tight
+//!   goals and misses them (Fig. 13(a)'s failures), while costing at
+//!   least as much elsewhere.
+
+use crate::common::ExpConfig;
+use crate::fig11::{render_rows, run_goals, GoalRow};
+use cynthia_models::Workload;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13 {
+    pub rows: Vec<GoalRow>,
+}
+
+/// Runs the ASP deadline sweep.
+pub fn run(cfg: &ExpConfig) -> Fig13 {
+    let vgg = Workload::vgg19_asp();
+    let rows = run_goals(
+        cfg,
+        &vgg,
+        &[(1800.0, 0.8), (3600.0, 0.8), (5400.0, 0.8)],
+    );
+    Fig13 { rows }
+}
+
+impl Fig13 {
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        render_rows(
+            "Fig. 13: VGG-19 / ASP goals (30/60/90 min, loss 0.8)",
+            &self.rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cynthia_meets_asp_goals() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        assert_eq!(f.rows.len(), 3);
+        for r in &f.rows {
+            assert!(
+                r.cynthia.met_deadline,
+                "Cynthia must meet the {:.0}s goal (took {:.0}s with {})",
+                r.deadline_s, r.cynthia.actual_time_s, r.cynthia.plan
+            );
+            assert!(r.cynthia.achieved_loss <= r.target_loss * 1.1);
+        }
+        // Tighter deadlines demand at least as many workers.
+        let w: Vec<u32> = f.rows.iter().map(|r| r.cynthia.n_workers).collect();
+        assert!(w[0] >= w[2], "30-min goal should need ≥ workers of 90-min: {w:?}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Fig. 3 — DDNN training time breakdown for the cifar10 DNN with BSP.
+//!
+//! Shape reproduced: as workers grow, total computation time falls ≈ 1/n
+//! while total communication time grows ≈ n; the two curves cross and the
+//! total training time has its minimum near the balance point. (In our
+//! calibration the crossover lands near 8 workers instead of the paper's
+//! 13 — the paper's measured communication is ~2.6× faster than its own
+//! Eq. (5) with Table 4's values predicts; see EXPERIMENTS.md.)
+
+use crate::common::{render_table, ExpConfig};
+use cynthia_models::Workload;
+use cynthia_train::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub n_workers: u32,
+    pub computation_s: f64,
+    pub communication_s: f64,
+    pub training_s: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3 {
+    pub rows: Vec<Row>,
+    /// Worker count with the smallest total time (the paper's "13
+    /// workers" balance point).
+    pub balance_point: u32,
+    /// Worker count where communication first exceeds computation.
+    pub crossover: Option<u32>,
+}
+
+/// Sweeps 5..=17 workers (the paper plots 9..17; we extend downward so
+/// the crossover is visible at our calibration).
+pub fn run(cfg: &ExpConfig) -> Fig3 {
+    let w = Workload::cifar10_bsp();
+    let counts: Vec<u32> = (5..=17).step_by(2).collect();
+    let rows: Vec<Row> = counts
+        .iter()
+        .map(|&n| {
+            let reports = cfg.run_repeated(&w, &ClusterSpec::homogeneous(cfg.m4(), n, 1));
+            let avg = |f: &dyn Fn(&cynthia_train::TrainingReport) -> f64| {
+                reports.iter().map(f).sum::<f64>() / reports.len() as f64
+            };
+            Row {
+                n_workers: n,
+                computation_s: avg(&|r| r.total_comp_time),
+                communication_s: avg(&|r| r.total_comm_time),
+                training_s: avg(&|r| r.total_time),
+            }
+        })
+        .collect();
+    let balance_point = rows
+        .iter()
+        .min_by(|a, b| a.training_s.partial_cmp(&b.training_s).unwrap())
+        .map(|r| r.n_workers)
+        .unwrap();
+    let crossover = rows
+        .iter()
+        .find(|r| r.communication_s > r.computation_s)
+        .map(|r| r.n_workers);
+    Fig3 {
+        rows,
+        balance_point,
+        crossover,
+    }
+}
+
+impl Fig3 {
+    /// Renders the breakdown.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n_workers.to_string(),
+                    format!("{:.0}", r.computation_s),
+                    format!("{:.0}", r.communication_s),
+                    format!("{:.0}", r.training_s),
+                ]
+            })
+            .collect();
+        format!(
+            "Fig. 3: cifar10 DNN / BSP time breakdown\n{}balance point: {} workers; comp/comm crossover: {}\n",
+            render_table(
+                &["workers", "computation(s)", "communication(s)", "training(s)"],
+                &rows
+            ),
+            self.balance_point,
+            self.crossover
+                .map(|c| c.to_string())
+                .unwrap_or("none in range".into())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comp_falls_comm_rises_and_they_cross() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        let first = &f.rows[0];
+        let last = f.rows.last().unwrap();
+        assert!(last.computation_s < first.computation_s);
+        assert!(last.communication_s > first.communication_s);
+        assert!(f.crossover.is_some(), "crossover must appear in 5..=17");
+        // Balance point lies strictly inside the sweep.
+        assert!(f.balance_point > 5 && f.balance_point < 17, "{}", f.balance_point);
+        // Overlap: total stays below the additive composition. (It can
+        // also dip below max(comp, comm): per-iteration communication
+        // windows overlap adjacent iterations in the pipelined barrier,
+        // matching the paper's Fig. 3 where total < comp + comm.)
+        for r in &f.rows {
+            assert!(r.training_s < r.computation_s + r.communication_s);
+        }
+    }
+}

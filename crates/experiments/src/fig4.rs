@@ -1,0 +1,112 @@
+//! Fig. 4 — training loss curves and the fitted Eq. (1).
+//!
+//! Shapes reproduced:
+//! * (a) cifar10 DNN / BSP: loss curves at 2/4/8 workers coincide (loss
+//!   depends only on the iteration count) and `β0/s + β1` fits them.
+//! * (b) ResNet-32 / ASP: more workers converge slower per iteration
+//!   (staleness), captured by the `√n` factor; per-n fits recover it.
+
+use crate::common::ExpConfig;
+use cynthia_core::loss_model::FittedLossModel;
+use cynthia_models::Workload;
+use cynthia_train::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Curve {
+    pub n_workers: u32,
+    /// Down-sampled `(iteration, loss)` points.
+    pub points: Vec<(u64, f64)>,
+    pub final_loss: f64,
+    pub fitted_beta0: f64,
+    pub fitted_beta1: f64,
+    pub r_squared: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4 {
+    /// (a) cifar10 DNN with BSP at 2/4/8 workers.
+    pub cifar10_bsp: Vec<Curve>,
+    /// (b) ResNet-32 with ASP at 4/9 workers.
+    pub resnet_asp: Vec<Curve>,
+}
+
+fn curve(cfg: &ExpConfig, w: &Workload, n: u32) -> Curve {
+    let report = cfg
+        .run_repeated(w, &ClusterSpec::homogeneous(cfg.m4(), n, 1))
+        .remove(0);
+    let fit = FittedLossModel::fit(w.sync, &report.loss_curve, n);
+    let step = (report.loss_curve.len() / 24).max(1);
+    Curve {
+        n_workers: n,
+        points: report.loss_curve.iter().step_by(step).cloned().collect(),
+        final_loss: report.final_loss,
+        fitted_beta0: fit.beta0,
+        fitted_beta1: fit.beta1,
+        r_squared: fit.r_squared,
+    }
+}
+
+/// Runs both panels.
+pub fn run(cfg: &ExpConfig) -> Fig4 {
+    let cifar = Workload::cifar10_bsp();
+    let resnet = Workload::resnet32_asp();
+    Fig4 {
+        cifar10_bsp: [2u32, 4, 8].iter().map(|&n| curve(cfg, &cifar, n)).collect(),
+        resnet_asp: [4u32, 9].iter().map(|&n| curve(cfg, &resnet, n)).collect(),
+    }
+}
+
+impl Fig4 {
+    /// Renders fit summaries plus a few curve samples.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (title, curves) in [
+            ("Fig. 4(a) cifar10 DNN / BSP", &self.cifar10_bsp),
+            ("Fig. 4(b) ResNet-32 / ASP", &self.resnet_asp),
+        ] {
+            let _ = writeln!(out, "{title}");
+            for c in curves {
+                let _ = writeln!(
+                    out,
+                    "  {} workers: final loss {:.3}, fit loss = {:.1}/s + {:.3} (R²={:.3})",
+                    c.n_workers, c.final_loss, c.fitted_beta0, c.fitted_beta1, c.r_squared
+                );
+                let samples: Vec<String> = c
+                    .points
+                    .iter()
+                    .step_by((c.points.len() / 6).max(1))
+                    .map(|(s, l)| format!("s={s}:{l:.2}"))
+                    .collect();
+                let _ = writeln!(out, "    {}", samples.join("  "));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsp_curves_coincide_and_asp_degrades() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        // (a) BSP final loss is worker-count independent (within noise).
+        let finals: Vec<f64> = f.cifar10_bsp.iter().map(|c| c.final_loss).collect();
+        let spread = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - finals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 0.1, "BSP finals should coincide: {finals:?}");
+        // Fits are good and hyperbolic.
+        for c in &f.cifar10_bsp {
+            assert!(c.r_squared > 0.95, "poor fit: {c:?}");
+            assert!(c.fitted_beta0 > 0.0);
+        }
+        // (b) ASP: 9 workers end higher than 4 at the same iteration count.
+        let l4 = f.resnet_asp[0].final_loss;
+        let l9 = f.resnet_asp[1].final_loss;
+        assert!(l9 > l4, "staleness should slow ASP: {l4} vs {l9}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Fig. 6 — observed vs predicted training time under the Cynthia,
+//! Optimus, and Paleo models.
+//!
+//! Shapes reproduced:
+//! * (a) VGG-19 / ASP at 7/9/12 workers: past ~9 workers the PS NIC
+//!   saturates; Cynthia stays accurate, Optimus/Paleo under-predict and
+//!   their error grows with the worker count.
+//! * (b) cifar10 DNN / BSP at 4/9/12 workers: no hard bottleneck, so all
+//!   models are in the ballpark, but the additive (non-overlapping)
+//!   baselines over-predict.
+
+use crate::common::{pct, rel_err, render_table, ExpConfig};
+use cynthia_baselines::{OptimusModel, PaleoModel};
+use cynthia_core::perf_model::{ClusterShape, CynthiaModel, PerfModel};
+use cynthia_core::profiler::profile_workload;
+use cynthia_models::Workload;
+use cynthia_train::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub n_workers: u32,
+    pub observed_s: f64,
+    pub cynthia_s: f64,
+    pub optimus_s: f64,
+    pub paleo_s: f64,
+}
+
+impl Row {
+    /// Signed relative errors `(cynthia, optimus, paleo)`.
+    pub fn errors(&self) -> (f64, f64, f64) {
+        (
+            rel_err(self.cynthia_s, self.observed_s),
+            rel_err(self.optimus_s, self.observed_s),
+            rel_err(self.paleo_s, self.observed_s),
+        )
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    pub workload: String,
+    pub rows: Vec<Row>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6 {
+    /// (a) VGG-19 with ASP.
+    pub vgg_asp: Panel,
+    /// (b) cifar10 DNN with BSP.
+    pub cifar_bsp: Panel,
+}
+
+pub(crate) fn panel(cfg: &ExpConfig, workload: &Workload, counts: &[u32], iterations: u64) -> Panel {
+    let w = workload.clone().with_iterations(iterations);
+    let profile = profile_workload(&w, cfg.m4(), cfg.seed);
+    let cynthia = CynthiaModel::new(profile.clone());
+    let optimus = OptimusModel::fit_from_simulation(&w, cfg.m4(), &[1, 2, 3, 4], cfg.seed);
+    let paleo = PaleoModel::new(profile);
+    let rows = counts
+        .iter()
+        .map(|&n| {
+            let observed = cfg
+                .time_stats(&w, &ClusterSpec::homogeneous(cfg.m4(), n, 1))
+                .mean;
+            let shape = ClusterShape::homogeneous(cfg.m4(), n, 1);
+            Row {
+                n_workers: n,
+                observed_s: observed,
+                cynthia_s: cynthia.predict_time(&shape, w.iterations),
+                optimus_s: optimus.predict_time(&shape, w.iterations),
+                paleo_s: paleo.predict_time(&shape, w.iterations),
+            }
+        })
+        .collect();
+    Panel {
+        workload: w.id(),
+        rows,
+    }
+}
+
+/// Runs both panels.
+pub fn run(cfg: &ExpConfig) -> Fig6 {
+    let iters = if cfg.quick { 400 } else { 1000 };
+    Fig6 {
+        vgg_asp: panel(cfg, &Workload::vgg19_asp(), &[7, 9, 12], iters),
+        cifar_bsp: panel(cfg, &Workload::cifar10_bsp(), &[4, 9, 12], iters.max(2000)),
+    }
+}
+
+impl Panel {
+    /// Renders one panel with error percentages.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let (ec, eo, ep) = r.errors();
+                vec![
+                    r.n_workers.to_string(),
+                    format!("{:.0}", r.observed_s),
+                    format!("{:.0} ({})", r.cynthia_s, pct(ec)),
+                    format!("{:.0} ({})", r.optimus_s, pct(eo)),
+                    format!("{:.0} ({})", r.paleo_s, pct(ep)),
+                ]
+            })
+            .collect();
+        format!(
+            "{}\n{}",
+            self.workload,
+            render_table(
+                &["workers", "observed(s)", "Cynthia", "Optimus", "Paleo"],
+                &rows
+            )
+        )
+    }
+}
+
+impl Fig6 {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        format!(
+            "Fig. 6: observed vs predicted training time\n(a) {}\n(b) {}",
+            self.vgg_asp.render(),
+            self.cifar_bsp.render()
+        )
+    }
+
+    /// Mean absolute error of each model over both panels:
+    /// `(cynthia, optimus, paleo)`.
+    pub fn mean_abs_errors(&self) -> (f64, f64, f64) {
+        let mut acc = (0.0, 0.0, 0.0);
+        let mut count = 0.0;
+        for r in self.vgg_asp.rows.iter().chain(&self.cifar_bsp.rows) {
+            let (c, o, p) = r.errors();
+            acc = (acc.0 + c.abs(), acc.1 + o.abs(), acc.2 + p.abs());
+            count += 1.0;
+        }
+        (acc.0 / count, acc.1 / count, acc.2 / count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cynthia_beats_both_baselines_overall() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        let (c, o, p) = f.mean_abs_errors();
+        assert!(c < 0.12, "Cynthia mean error too large: {:.1}%", c * 100.0);
+        assert!(c < o, "Cynthia {c} should beat Optimus {o}");
+        assert!(c < p, "Cynthia {c} should beat Paleo {p}");
+    }
+
+    #[test]
+    fn baselines_underpredict_the_saturated_vgg_regime() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        let r12 = f.vgg_asp.rows.iter().find(|r| r.n_workers == 12).unwrap();
+        let (_, eo, ep) = r12.errors();
+        assert!(eo < -0.05, "Optimus should underpredict at 12: {}", pct(eo));
+        assert!(ep < -0.05, "Paleo should underpredict at 12: {}", pct(ep));
+    }
+}

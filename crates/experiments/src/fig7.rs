@@ -1,0 +1,110 @@
+//! Fig. 7 — network throughput of the PS node while training VGG-19 with
+//! ASP in a homogeneous cluster, at 4/7/9 workers.
+//!
+//! Shape reproduced: throughput scales with workers until the PS NIC
+//! saturates around 9 workers (the paper observes ≈ 110 MB/s; our NIC
+//! calibration is 118 MB/s).
+
+use crate::common::ExpConfig;
+use cynthia_models::Workload;
+use cynthia_train::{simulate, ClusterSpec, TrainJob};
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub n_workers: u32,
+    pub throughput: Vec<(f64, f64)>,
+    pub mean_mbps: f64,
+    pub peak_mbps: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7 {
+    pub series: Vec<Series>,
+    pub nic_capacity_mbps: f64,
+}
+
+/// Full-detail ASP runs at 4/7/9 workers.
+pub fn run(cfg: &ExpConfig) -> Fig7 {
+    let mut w = Workload::vgg19_asp();
+    if cfg.quick {
+        w.iterations = 200;
+    }
+    let series = [4u32, 7, 9]
+        .iter()
+        .map(|&n| {
+            let report = simulate(&TrainJob {
+                workload: &w,
+                cluster: ClusterSpec::homogeneous(cfg.m4(), n, 1),
+                config: cynthia_train::SimConfig {
+                    throughput_window: 30.0,
+                    ..cfg.sim_exact(0)
+                },
+            });
+            let throughput = report.ps_nic_series[0].clone();
+            let peak = throughput.iter().map(|(_, r)| *r).fold(0.0, f64::max);
+            Series {
+                n_workers: n,
+                mean_mbps: report.ps_nic_mean_mbps[0],
+                peak_mbps: peak,
+                throughput,
+            }
+        })
+        .collect();
+    Fig7 {
+        series,
+        nic_capacity_mbps: cfg.m4().nic_mbps,
+    }
+}
+
+impl Fig7 {
+    /// Renders summaries plus samples.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "Fig. 7: PS NIC throughput, VGG-19 / ASP (NIC capacity {} MB/s)\n",
+            self.nic_capacity_mbps
+        );
+        for s in &self.series {
+            let _ = writeln!(
+                out,
+                "1ps+{}workers: mean {:.1} MB/s, peak {:.1} MB/s",
+                s.n_workers, s.mean_mbps, s.peak_mbps
+            );
+            let step = (s.throughput.len() / 10).max(1);
+            let samples: Vec<String> = s
+                .throughput
+                .iter()
+                .step_by(step)
+                .take(10)
+                .map(|(t, r)| format!("{t:.0}s:{r:.0}"))
+                .collect();
+            let _ = writeln!(out, "  {}", samples.join("  "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nic_saturates_at_nine_workers() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        let m4 = f.series.iter().find(|s| s.n_workers == 4).unwrap();
+        let m9 = f.series.iter().find(|s| s.n_workers == 9).unwrap();
+        assert!(
+            m4.mean_mbps < 0.65 * f.nic_capacity_mbps,
+            "4 workers unsaturated: {}",
+            m4.mean_mbps
+        );
+        assert!(
+            m9.peak_mbps > 0.85 * f.nic_capacity_mbps,
+            "9 workers should hit the cap: {}",
+            m9.peak_mbps
+        );
+        assert!(m9.mean_mbps > m4.mean_mbps * 1.5);
+    }
+}

@@ -1,0 +1,104 @@
+//! Fig. 8 — cross-instance-type prediction: VGG-19 / ASP running on
+//! r3.xlarge clusters, predicted from the profile taken *once* on
+//! m4.xlarge.
+//!
+//! Shape reproduced: prediction error stays in the single digits without
+//! re-profiling on the target type (the paper reports 4.0–5.2%), because
+//! the profile transfers through the capability table.
+
+use crate::common::{pct, rel_err, render_table, ExpConfig};
+use cynthia_core::perf_model::{ClusterShape, CynthiaModel, PerfModel};
+use cynthia_core::profiler::profile_workload;
+use cynthia_models::Workload;
+use cynthia_train::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub n_workers: u32,
+    pub observed_s: f64,
+    pub cynthia_s: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8 {
+    pub rows: Vec<Row>,
+    pub profiled_on: String,
+    pub ran_on: String,
+}
+
+/// Profiles on m4.xlarge, validates on r3.xlarge at 7/9/12 workers.
+pub fn run(cfg: &ExpConfig) -> Fig8 {
+    let iters = if cfg.quick { 300 } else { 1000 };
+    let w = Workload::vgg19_asp().with_iterations(iters);
+    let r3 = cfg.catalog.expect("r3.xlarge");
+    let profile = profile_workload(&w, cfg.m4(), cfg.seed);
+    let model = CynthiaModel::new(profile);
+    let rows = [7u32, 9, 12]
+        .iter()
+        .map(|&n| {
+            let observed = cfg
+                .time_stats(&w, &ClusterSpec::homogeneous(r3, n, 1))
+                .mean;
+            Row {
+                n_workers: n,
+                observed_s: observed,
+                cynthia_s: model.predict_time(&ClusterShape::homogeneous(r3, n, 1), w.iterations),
+            }
+        })
+        .collect();
+    Fig8 {
+        rows,
+        profiled_on: "m4.xlarge".into(),
+        ran_on: "r3.xlarge".into(),
+    }
+}
+
+impl Fig8 {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n_workers.to_string(),
+                    format!("{:.0}", r.observed_s),
+                    format!(
+                        "{:.0} ({})",
+                        r.cynthia_s,
+                        pct(rel_err(r.cynthia_s, r.observed_s))
+                    ),
+                ]
+            })
+            .collect();
+        format!(
+            "Fig. 8: VGG-19 / ASP on {} predicted from a {} profile\n{}",
+            self.ran_on,
+            self.profiled_on,
+            render_table(&["workers", "observed(s)", "Cynthia"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_error_stays_small() {
+        let cfg = ExpConfig::quick();
+        let f = run(&cfg);
+        for r in &f.rows {
+            let e = rel_err(r.cynthia_s, r.observed_s).abs();
+            assert!(
+                e < 0.12,
+                "n={}: error {:.1}% too large ({} vs {})",
+                r.n_workers,
+                e * 100.0,
+                r.cynthia_s,
+                r.observed_s
+            );
+        }
+    }
+}

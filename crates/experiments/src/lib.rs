@@ -1,0 +1,37 @@
+//! # cynthia-experiments — regenerating the paper's evaluation
+//!
+//! One module per table/figure of the ICPP 2019 Cynthia paper. Each module
+//! exposes a `run(&ExpConfig) -> SomeResult` function returning structured
+//! rows plus a renderer that prints the same series the paper plots. The
+//! `cynthia-exp` binary maps each experiment to a CLI subcommand;
+//! `cynthia-exp all` regenerates everything (that is what
+//! `EXPERIMENTS.md` records).
+//!
+//! Absolute numbers differ from the paper — the substrate is a simulator,
+//! not a 56-docker EC2 testbed — but each module's doc comment states the
+//! *shape* being reproduced and the integration tests assert it.
+
+pub mod ablations;
+pub mod common;
+pub mod extension_gpu;
+pub mod fig1;
+pub mod fleet;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod overhead;
+pub mod sensitivity;
+pub mod ssp;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+
+pub use common::ExpConfig;

@@ -1,0 +1,96 @@
+//! `cynthia-exp` — regenerate any table or figure of the Cynthia paper.
+//!
+//! ```text
+//! cynthia-exp <experiment> [--quick] [--json]
+//! cynthia-exp all [--quick]
+//! ```
+//!
+//! Experiments: table1, fig1, table2, fig2, fig3, fig4, table4, fig6,
+//! fig7, fig8, fig9, fig10, fig11, fig12, fig13, overhead.
+
+use cynthia_experiments::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cynthia-exp <experiment|all> [--quick] [--json]\n\
+         experiments: table1 fig1 table2 fig2 fig3 fig4 table4 fig6 fig7\n\
+         \u{20}            fig8 fig9 fig10 fig11 fig12 fig13 overhead ablations gpu fleet sensitivity ssp"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let name = args[0].as_str();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
+
+    let run_one = |name: &str| -> Option<(String, String)> {
+        macro_rules! exp {
+            ($module:ident, $runner:expr) => {{
+                let result = $runner;
+                let rendered = result.render();
+                let as_json = serde_json::to_string_pretty(&result)
+                    .expect("experiment results serialize");
+                Some((rendered, as_json))
+            }};
+        }
+        match name {
+            "table1" => exp!(table1, table1::run()),
+            "ablations" => exp!(ablations, ablations::run(&cfg)),
+            "gpu" => exp!(extension_gpu, extension_gpu::run(&cfg)),
+            "fleet" => exp!(fleet, fleet::run(&cfg)),
+            "sensitivity" => exp!(sensitivity, sensitivity::run(&cfg)),
+            "ssp" => exp!(ssp, ssp::run(&cfg)),
+            "fig1" => exp!(fig1, fig1::run(&cfg)),
+            "table2" => exp!(table2, table2::run(&cfg)),
+            "fig2" => exp!(fig2, fig2::run(&cfg)),
+            "fig3" => exp!(fig3, fig3::run(&cfg)),
+            "fig4" => exp!(fig4, fig4::run(&cfg)),
+            "table4" => exp!(table4, table4::run(&cfg)),
+            "fig6" => exp!(fig6, fig6::run(&cfg)),
+            "fig7" => exp!(fig7, fig7::run(&cfg)),
+            "fig8" => exp!(fig8, fig8::run(&cfg)),
+            "fig9" => exp!(fig9, fig9::run(&cfg)),
+            "fig10" => exp!(fig10, fig10::run(&cfg)),
+            "fig11" => exp!(fig11, fig11::run(&cfg)),
+            "fig12" => exp!(fig12, fig12::run(&cfg)),
+            "fig13" => exp!(fig13, fig13::run(&cfg)),
+            "overhead" => exp!(overhead, overhead::run(&cfg)),
+            _ => None,
+        }
+    };
+
+    let all = [
+        "table1", "fig1", "table2", "fig2", "fig3", "fig4", "table4", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "fig12", "fig13", "overhead", "ablations", "gpu", "fleet", "sensitivity", "ssp",
+    ];
+
+    if name == "all" {
+        for exp in all {
+            eprintln!("== running {exp} ==");
+            let (rendered, _) = run_one(exp).expect("known experiment");
+            println!("{rendered}");
+        }
+        return;
+    }
+
+    match run_one(name) {
+        Some((rendered, as_json)) => {
+            if json {
+                println!("{as_json}");
+            } else {
+                println!("{rendered}");
+            }
+        }
+        None => usage(),
+    }
+}

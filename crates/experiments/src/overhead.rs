@@ -1,0 +1,114 @@
+//! Sec. 5.3 — runtime overhead of Cynthia.
+//!
+//! Two numbers per workload:
+//! * the (virtual) wall-clock of the one-shot 30-iteration profiling run
+//!   (the paper: 0.9 s for mnist up to 10.4 min for VGG-19), and
+//! * the (real) wall-clock of one Alg. 1 planning pass (the paper: 13–39
+//!   ms on an m4.xlarge).
+
+use crate::common::{render_table, ExpConfig};
+use crate::fig11::oracle_loss;
+use cynthia_core::profiler::profile_workload;
+use cynthia_core::provisioner::{plan, Goal, PlannerOptions};
+use cynthia_models::Workload;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub workload: String,
+    /// Virtual seconds of the profiling run.
+    pub profiling_s: f64,
+    /// Real milliseconds of one planning pass.
+    pub planning_ms: f64,
+    /// Candidate points Alg. 1 evaluated.
+    pub candidates: u32,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Overhead {
+    pub rows: Vec<Row>,
+}
+
+/// Measures both overheads for the four workloads.
+pub fn run(cfg: &ExpConfig) -> Overhead {
+    let rows = Workload::table1()
+        .iter()
+        .map(|w| {
+            let profile = profile_workload(w, cfg.m4(), cfg.seed);
+            let loss = oracle_loss(w);
+            let goal = Goal {
+                deadline_secs: 7200.0,
+                target_loss: (w.convergence.beta1 * 1.6).max(0.2),
+            };
+            let t0 = std::time::Instant::now();
+            let p = plan(&profile, &loss, &cfg.catalog, &goal, &PlannerOptions::default());
+            let planning_ms = t0.elapsed().as_secs_f64() * 1e3;
+            Row {
+                workload: w.id(),
+                profiling_s: profile.profiling_wallclock,
+                planning_ms,
+                candidates: p.map(|p| p.candidates_evaluated).unwrap_or(0),
+            }
+        })
+        .collect();
+    Overhead { rows }
+}
+
+impl Overhead {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    format!("{:.1}", r.profiling_s),
+                    format!("{:.2}", r.planning_ms),
+                    r.candidates.to_string(),
+                ]
+            })
+            .collect();
+        format!(
+            "Sec. 5.3: Cynthia runtime overhead\n{}",
+            render_table(
+                &["workload", "profiling(s,virtual)", "planning(ms,real)", "candidates"],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_acceptable() {
+        let cfg = ExpConfig::quick();
+        let o = run(&cfg);
+        assert_eq!(o.rows.len(), 4);
+        for r in &o.rows {
+            // Profiling: 30 iterations, so seconds-to-minutes depending on
+            // t_base — never hours.
+            assert!(
+                r.profiling_s < 1800.0,
+                "{}: profiling {}s",
+                r.workload,
+                r.profiling_s
+            );
+            // Planning: well under a second.
+            assert!(
+                r.planning_ms < 500.0,
+                "{}: planning {}ms",
+                r.workload,
+                r.planning_ms
+            );
+        }
+        // mnist profiles fastest (the paper's 0.9 s).
+        let mnist = o.rows.iter().find(|r| r.workload.contains("mnist")).unwrap();
+        for r in &o.rows {
+            assert!(mnist.profiling_s <= r.profiling_s, "{}", r.workload);
+        }
+    }
+}

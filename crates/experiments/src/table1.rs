@@ -1,0 +1,94 @@
+//! Table 1 — configurations of the four DDNN training workloads.
+//!
+//! An input echo rather than a result: it documents exactly what the
+//! other experiments train, including the substitution-relevant constants
+//! (capability-unit `w_iter`, parameter size, delivered kernel
+//! efficiency).
+
+use crate::common::render_table;
+use cynthia_models::Workload;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub workload: String,
+    pub iterations: u64,
+    pub batch_size: u32,
+    pub dataset: String,
+    pub sync: String,
+    pub w_iter_gflops: f64,
+    pub param_mb: f64,
+    pub delivered_efficiency: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    pub rows: Vec<Row>,
+}
+
+/// Collects the Table 1 configurations.
+pub fn run() -> Table1 {
+    let rows = Workload::table1()
+        .into_iter()
+        .map(|w| Row {
+            workload: w.model.name.clone(),
+            iterations: w.iterations,
+            batch_size: w.batch_size,
+            dataset: w.dataset.name.clone(),
+            sync: w.sync.label().to_string(),
+            w_iter_gflops: w.w_iter_gflops,
+            param_mb: w.param_mb(),
+            delivered_efficiency: w.delivered_efficiency(),
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    r.iterations.to_string(),
+                    r.batch_size.to_string(),
+                    r.dataset.clone(),
+                    r.sync.clone(),
+                    format!("{:.3}", r.w_iter_gflops),
+                    format!("{:.2}", r.param_mb),
+                    format!("{:.3}", r.delivered_efficiency),
+                ]
+            })
+            .collect();
+        render_table(
+            &[
+                "workload",
+                "#iterations",
+                "batch",
+                "dataset",
+                "sync",
+                "w_iter(GF)",
+                "g_param(MB)",
+                "kernel-eff",
+            ],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_has_four_rows_matching_the_paper() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 4);
+        let mnist = t.rows.iter().find(|r| r.workload.contains("mnist")).unwrap();
+        assert_eq!(mnist.iterations, 10_000);
+        assert_eq!(mnist.batch_size, 512);
+        assert_eq!(mnist.sync, "BSP");
+        assert!(super::run().render().contains("VGG-19"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Table 2 — average CPU utilization of the PS and a worker while
+//! training the mnist DNN (BSP), homogeneous and heterogeneous clusters.
+//!
+//! Shape reproduced: the PS approaches 100% CPU as workers grow past ~4
+//! while per-worker utilization collapses (100% → tens of percent); the
+//! heterogeneous cluster shows the same saturation with its m4 workers
+//! throttled.
+
+use crate::common::{render_table, ExpConfig};
+use cynthia_models::Workload;
+use cynthia_train::ClusterSpec;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub n_workers: u32,
+    pub homo_ps_util: f64,
+    pub homo_worker_util: f64,
+    /// `None` for 1 worker (the paper marks the heterogeneous column N/A).
+    pub hetero_ps_util: Option<f64>,
+    pub hetero_m4_worker_util: Option<f64>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2 {
+    pub rows: Vec<Row>,
+}
+
+/// Measures utilizations at 1, 2, 4, 8 workers.
+pub fn run(cfg: &ExpConfig) -> Table2 {
+    let w = Workload::mnist_bsp();
+    let rows = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&n| {
+            let homo = cfg
+                .run_repeated(&w, &ClusterSpec::homogeneous(cfg.m4(), n, 1))
+                .remove(0);
+            let (hetero_ps, hetero_wk) = if n >= 2 {
+                let spec = ClusterSpec::heterogeneous(cfg.m4(), cfg.m1(), n, 1);
+                let m4_idx = spec.workers_of_type("m4.xlarge");
+                let rep = cfg.run_repeated(&w, &spec).remove(0);
+                (
+                    Some(rep.mean_ps_util()),
+                    Some(rep.mean_worker_util_of(&m4_idx)),
+                )
+            } else {
+                (None, None)
+            };
+            Row {
+                n_workers: n,
+                homo_ps_util: homo.mean_ps_util(),
+                homo_worker_util: homo.mean_worker_util(),
+                hetero_ps_util: hetero_ps,
+                hetero_m4_worker_util: hetero_wk,
+            }
+        })
+        .collect();
+    Table2 { rows }
+}
+
+fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+impl Table2 {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{} worker(s)", r.n_workers),
+                    fmt_pct(r.homo_ps_util),
+                    fmt_pct(r.homo_worker_util),
+                    r.hetero_ps_util.map(fmt_pct).unwrap_or("N/A".into()),
+                    r.hetero_m4_worker_util
+                        .map(fmt_pct)
+                        .unwrap_or("N/A".into()),
+                ]
+            })
+            .collect();
+        format!(
+            "Table 2: mnist DNN / BSP average CPU utilization\n{}",
+            render_table(
+                &["", "homo PS", "homo worker", "hetero PS", "hetero worker(m4)"],
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_holds() {
+        let cfg = ExpConfig::quick();
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 4);
+        let r1 = &t.rows[0];
+        let r8 = &t.rows[3];
+        // 1 worker: PS lightly loaded, worker nearly fully busy.
+        assert!(r1.homo_ps_util < 0.6, "{}", r1.homo_ps_util);
+        assert!(r1.homo_worker_util > 0.8, "{}", r1.homo_worker_util);
+        assert!(r1.hetero_ps_util.is_none());
+        // 8 workers: PS saturated, workers collapsed.
+        assert!(r8.homo_ps_util > 0.85, "{}", r8.homo_ps_util);
+        assert!(r8.homo_worker_util < 0.5, "{}", r8.homo_worker_util);
+        assert!(t.render().contains("N/A"));
+    }
+}

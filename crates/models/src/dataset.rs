@@ -1,0 +1,86 @@
+//! Dataset descriptors.
+//!
+//! Only the shape-level facts matter to the provisioning problem: sample
+//! dimensions (they determine per-iteration FLOPs via the model graph) and
+//! dataset size (it relates iterations to epochs in reports).
+
+use crate::layer::Dims;
+use serde::{Deserialize, Serialize};
+
+/// A dataset the paper trains on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub name: String,
+    pub train_samples: usize,
+    pub sample_dims: Dims,
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// The MNIST handwritten-digit dataset (used flattened by the tutorial
+    /// DNN).
+    pub fn mnist() -> Self {
+        Dataset {
+            name: "mnist".into(),
+            train_samples: 60_000,
+            sample_dims: Dims::flat(784),
+            classes: 10,
+        }
+    }
+
+    /// The CIFAR-10 dataset.
+    pub fn cifar10() -> Self {
+        Dataset {
+            name: "cifar10".into(),
+            train_samples: 50_000,
+            sample_dims: Dims::new(3, 32, 32),
+            classes: 10,
+        }
+    }
+
+    /// ImageNet-1k (ILSVRC-2012), the paper's future-work dataset.
+    pub fn imagenet() -> Self {
+        Dataset {
+            name: "imagenet".into(),
+            train_samples: 1_281_167,
+            sample_dims: Dims::new(3, 224, 224),
+            classes: 1000,
+        }
+    }
+
+    /// Number of iterations per epoch at a given global batch size.
+    pub fn iterations_per_epoch(&self, batch_size: u32) -> f64 {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.train_samples as f64 / batch_size as f64
+    }
+
+    /// Epochs covered by `iterations` at `batch_size`.
+    pub fn epochs(&self, iterations: u64, batch_size: u32) -> f64 {
+        iterations as f64 / self.iterations_per_epoch(batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_shape() {
+        let d = Dataset::mnist();
+        assert_eq!(d.sample_dims.numel(), 784);
+        assert_eq!(d.classes, 10);
+    }
+
+    #[test]
+    fn cifar10_shape() {
+        let d = Dataset::cifar10();
+        assert_eq!(d.sample_dims.numel(), 3072);
+    }
+
+    #[test]
+    fn epoch_math() {
+        let d = Dataset::cifar10();
+        assert!((d.iterations_per_epoch(128) - 390.625).abs() < 1e-9);
+        assert!((d.epochs(1000, 128) - 2.56).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,246 @@
+//! Sequential model graphs and whole-model summaries.
+
+use crate::layer::{Dims, Layer, LayerCost};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per trainable parameter (f32).
+pub const BYTES_PER_PARAM: f64 = 4.0;
+
+/// Ratio of training FLOPs to forward FLOPs (forward + input-gradient +
+/// weight-gradient passes).
+pub const TRAIN_FLOPS_FACTOR: f64 = 3.0;
+
+/// A named sequential model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelGraph {
+    pub name: String,
+    pub input: Dims,
+    pub layers: Vec<Layer>,
+}
+
+/// Per-layer analysis row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerRow {
+    pub index: usize,
+    pub kind: String,
+    pub output: Dims,
+    pub params: usize,
+    pub fwd_flops: f64,
+}
+
+/// Whole-model static summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelSummary {
+    pub name: String,
+    pub params: usize,
+    /// Parameter payload exchanged with the PS, in MB (the paper's
+    /// `g_param`).
+    pub param_mb: f64,
+    /// Forward FLOPs per sample.
+    pub fwd_flops_per_sample: f64,
+    /// Training FLOPs per sample (≈ 3× forward).
+    pub train_flops_per_sample: f64,
+    pub layers: Vec<LayerRow>,
+}
+
+impl ModelGraph {
+    /// Creates a model; validates shape propagation immediately.
+    pub fn new(name: impl Into<String>, input: Dims, layers: Vec<Layer>) -> Self {
+        let g = ModelGraph {
+            name: name.into(),
+            input,
+            layers,
+        };
+        g.summary(); // panics on shape errors
+        g
+    }
+
+    /// Runs shape inference over all layers.
+    pub fn summary(&self) -> ModelSummary {
+        let mut dims = self.input;
+        let mut rows = Vec::with_capacity(self.layers.len());
+        let mut params = 0usize;
+        let mut fwd = 0.0f64;
+        for (index, layer) in self.layers.iter().enumerate() {
+            let LayerCost {
+                output,
+                params: p,
+                fwd_flops,
+            } = layer.cost(dims);
+            rows.push(LayerRow {
+                index,
+                kind: layer.kind().to_string(),
+                output,
+                params: p,
+                fwd_flops,
+            });
+            params += p;
+            fwd += fwd_flops;
+            dims = output;
+        }
+        ModelSummary {
+            name: self.name.clone(),
+            params,
+            param_mb: params as f64 * BYTES_PER_PARAM / 1e6,
+            fwd_flops_per_sample: fwd,
+            train_flops_per_sample: fwd * TRAIN_FLOPS_FACTOR,
+            layers: rows,
+        }
+    }
+
+    /// The output shape of the whole model.
+    pub fn output(&self) -> Dims {
+        self.summary()
+            .layers
+            .last()
+            .map(|r| r.output)
+            .unwrap_or(self.input)
+    }
+
+    /// Training GFLOPs of one iteration over a mini-batch (the paper's
+    /// `w_iter`). For BSP this is the *global* batch: Eq. (4) divides it
+    /// across workers.
+    pub fn train_gflops_per_iteration(&self, batch_size: u32) -> f64 {
+        self.summary().train_flops_per_sample * batch_size as f64 / 1e9
+    }
+
+    /// Splits the parameter payload into `n` communication chunks
+    /// proportional to the parameter mass of trainable layers, merging
+    /// adjacent layers greedily. Returns chunk sizes in MB summing to
+    /// `param_mb`. Used by the simulator's layer-wise pipelining; `n` is
+    /// clamped to the number of trainable layers.
+    pub fn param_chunks_mb(&self, n: usize) -> Vec<f64> {
+        let summary = self.summary();
+        let masses: Vec<f64> = summary
+            .layers
+            .iter()
+            .filter(|r| r.params > 0)
+            .map(|r| r.params as f64 * BYTES_PER_PARAM / 1e6)
+            .collect();
+        if masses.is_empty() {
+            return vec![];
+        }
+        let n = n.clamp(1, masses.len());
+        // Greedy sequential partition targeting equal mass per chunk.
+        let total: f64 = masses.iter().sum();
+        let target = total / n as f64;
+        let mut chunks = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        let mut remaining_layers = masses.len();
+        for m in &masses {
+            acc += m;
+            remaining_layers -= 1;
+            let remaining_chunks = n - chunks.len();
+            // Close the chunk when it reaches the target, but always leave
+            // at least one layer per remaining chunk.
+            if (acc >= target && remaining_chunks > 1) || remaining_layers < remaining_chunks {
+                chunks.push(acc);
+                acc = 0.0;
+            }
+        }
+        if acc > 0.0 || chunks.len() < n {
+            chunks.push(acc);
+        }
+        debug_assert_eq!(chunks.len(), n);
+        chunks
+    }
+}
+
+impl ModelSummary {
+    /// Renders a human-readable per-layer table (used by examples).
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<4} {:<10} {:>14} {:>12} {:>14}",
+            "#", "layer", "output", "params", "fwd FLOPs"
+        );
+        for r in &self.layers {
+            let _ = writeln!(
+                out,
+                "{:<4} {:<10} {:>14} {:>12} {:>14.3e}",
+                r.index,
+                r.kind,
+                format!("{}x{}x{}", r.output.c, r.output.h, r.output.w),
+                r.params,
+                r.fwd_flops
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} params ({:.2} MB), {:.3e} fwd FLOPs/sample",
+            self.params, self.param_mb, self.fwd_flops_per_sample
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ModelGraph {
+        ModelGraph::new(
+            "tiny",
+            Dims::flat(784),
+            vec![
+                Layer::Dense { out_features: 100 },
+                Layer::ReLU,
+                Layer::Dense { out_features: 10 },
+                Layer::Softmax,
+            ],
+        )
+    }
+
+    #[test]
+    fn summary_totals_add_up() {
+        let s = tiny().summary();
+        assert_eq!(s.params, 784 * 100 + 100 + 100 * 10 + 10);
+        let expect_fwd = 2.0 * (784.0 * 100.0) + 100.0 + 2.0 * (100.0 * 10.0) + 50.0;
+        assert_eq!(s.fwd_flops_per_sample, expect_fwd);
+        assert_eq!(s.train_flops_per_sample, 3.0 * expect_fwd);
+        assert!((s.param_mb - s.params as f64 * 4.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_gflops_scales_with_batch() {
+        let g = tiny();
+        let one = g.train_gflops_per_iteration(1);
+        let many = g.train_gflops_per_iteration(512);
+        assert!((many / one - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_shape() {
+        assert_eq!(tiny().output(), Dims::flat(10));
+    }
+
+    #[test]
+    fn chunks_conserve_mass_and_count() {
+        let g = tiny();
+        let total = g.summary().param_mb;
+        for n in 1..=2 {
+            let chunks = g.param_chunks_mb(n);
+            assert_eq!(chunks.len(), n, "requested {n} chunks");
+            let sum: f64 = chunks.iter().sum();
+            assert!((sum - total).abs() < 1e-9, "mass not conserved for n={n}");
+        }
+        // Asking for more chunks than trainable layers clamps.
+        assert_eq!(g.param_chunks_mb(10).len(), 2);
+    }
+
+    #[test]
+    fn chunks_of_parameterless_model_are_empty() {
+        let g = ModelGraph::new("actonly", Dims::new(3, 8, 8), vec![Layer::ReLU]);
+        assert!(g.param_chunks_mb(4).is_empty());
+    }
+
+    #[test]
+    fn render_table_mentions_every_layer() {
+        let t = tiny().summary().render_table();
+        assert!(t.contains("dense"));
+        assert!(t.contains("softmax"));
+        assert!(t.contains("total:"));
+    }
+}

@@ -1,0 +1,399 @@
+//! Layer descriptors with shape inference, parameter and FLOP counting.
+//!
+//! Conventions:
+//! * Activations are channels-first `(C, H, W)`; dense layers operate on the
+//!   flattened size `C·H·W`.
+//! * FLOP counts are for a *forward* pass on one sample, counting a
+//!   multiply-accumulate as 2 FLOPs. Training cost uses the standard
+//!   forward + backward ≈ 3× forward rule (see [`crate::graph`]).
+//! * Parameters are `f32` (4 bytes each) when converted to megabytes.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of an activation tensor (one sample), channels-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dims {
+    pub c: usize,
+    pub h: usize,
+    pub w: usize,
+}
+
+impl Dims {
+    /// A `(c, h, w)` shape.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        Dims { c, h, w }
+    }
+
+    /// A flat vector of `n` features, represented as `(n, 1, 1)`.
+    pub fn flat(n: usize) -> Self {
+        Dims { c: n, h: 1, w: 1 }
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.c * self.h * self.w
+    }
+}
+
+/// A single layer of a sequential model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution with square kernel, same-style zero padding.
+    Conv2d {
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        /// Zero padding on each side.
+        padding: usize,
+    },
+    /// Max pooling with square window.
+    MaxPool { kernel: usize, stride: usize },
+    /// Fully connected layer over the flattened input.
+    Dense { out_features: usize },
+    /// Rectified linear unit.
+    ReLU,
+    /// Batch normalization over channels.
+    BatchNorm,
+    /// Local response normalization (used by the TF cifar10 tutorial net).
+    LocalResponseNorm,
+    /// Global average pooling to `(C, 1, 1)`.
+    GlobalAvgPool,
+    /// A residual basic block: two 3×3 convolutions (+BN+ReLU) with a skip
+    /// connection; `stride > 1` downsamples and doubles channels via a 1×1
+    /// projection on the skip path (ResNet-C style).
+    ResidualBlock { out_channels: usize, stride: usize },
+    /// A residual bottleneck block (ResNet-50 style): 1×1 reduce to
+    /// `out_channels/4`, 3×3 at that width, 1×1 expand to `out_channels`,
+    /// each followed by BN; the skip path gets a 1×1 projection when the
+    /// shape changes.
+    BottleneckBlock { out_channels: usize, stride: usize },
+    /// Softmax over the flattened input (inference head; negligible
+    /// parameters, small FLOPs).
+    Softmax,
+}
+
+/// Static analysis of a layer applied to a given input shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    pub output: Dims,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Forward FLOPs per sample (MAC = 2 FLOPs).
+    pub fwd_flops: f64,
+}
+
+fn conv_out(side: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        side + 2 * padding >= kernel,
+        "kernel {kernel} larger than padded input {side}+2*{padding}"
+    );
+    (side + 2 * padding - kernel) / stride + 1
+}
+
+fn conv2d_cost(
+    input: Dims,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> LayerCost {
+    let oh = conv_out(input.h, kernel, stride, padding);
+    let ow = conv_out(input.w, kernel, stride, padding);
+    let output = Dims::new(out_channels, oh, ow);
+    let params = input.c * out_channels * kernel * kernel + out_channels;
+    let macs = (oh * ow * out_channels * input.c * kernel * kernel) as f64;
+    LayerCost {
+        output,
+        params,
+        fwd_flops: 2.0 * macs,
+    }
+}
+
+impl Layer {
+    /// Analyzes this layer on `input`, returning the output shape,
+    /// parameter count, and forward FLOPs per sample.
+    ///
+    /// # Panics
+    /// Panics on shape errors (kernel larger than input, etc.) so model
+    /// definitions fail loudly at construction time.
+    pub fn cost(&self, input: Dims) -> LayerCost {
+        match *self {
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => conv2d_cost(input, out_channels, kernel, stride, padding),
+            Layer::MaxPool { kernel, stride } => {
+                let oh = conv_out(input.h, kernel, stride, 0);
+                let ow = conv_out(input.w, kernel, stride, 0);
+                let output = Dims::new(input.c, oh, ow);
+                LayerCost {
+                    output,
+                    params: 0,
+                    fwd_flops: (output.numel() * kernel * kernel) as f64,
+                }
+            }
+            Layer::Dense { out_features } => {
+                let in_features = input.numel();
+                LayerCost {
+                    output: Dims::flat(out_features),
+                    params: in_features * out_features + out_features,
+                    fwd_flops: 2.0 * (in_features * out_features) as f64,
+                }
+            }
+            Layer::ReLU => LayerCost {
+                output: input,
+                params: 0,
+                fwd_flops: input.numel() as f64,
+            },
+            Layer::BatchNorm => LayerCost {
+                output: input,
+                // Scale and shift per channel.
+                params: 2 * input.c,
+                fwd_flops: 4.0 * input.numel() as f64,
+            },
+            Layer::LocalResponseNorm => LayerCost {
+                output: input,
+                params: 0,
+                // ~5-wide window: square, sum, scale, pow, divide.
+                fwd_flops: 8.0 * input.numel() as f64,
+            },
+            Layer::GlobalAvgPool => LayerCost {
+                output: Dims::new(input.c, 1, 1),
+                params: 0,
+                fwd_flops: input.numel() as f64,
+            },
+            Layer::ResidualBlock {
+                out_channels,
+                stride,
+            } => {
+                let c1 = conv2d_cost(input, out_channels, 3, stride, 1);
+                let b1 = Layer::BatchNorm.cost(c1.output);
+                let r1 = Layer::ReLU.cost(c1.output);
+                let c2 = conv2d_cost(c1.output, out_channels, 3, 1, 1);
+                let b2 = Layer::BatchNorm.cost(c2.output);
+                let (proj_params, proj_flops) = if stride != 1 || input.c != out_channels {
+                    let p = conv2d_cost(input, out_channels, 1, stride, 0);
+                    (p.params, p.fwd_flops)
+                } else {
+                    (0, 0.0)
+                };
+                // Elementwise skip-add + final ReLU.
+                let tail = 2.0 * c2.output.numel() as f64;
+                LayerCost {
+                    output: c2.output,
+                    params: c1.params + b1.params + c2.params + b2.params + proj_params,
+                    fwd_flops: c1.fwd_flops
+                        + b1.fwd_flops
+                        + r1.fwd_flops
+                        + c2.fwd_flops
+                        + b2.fwd_flops
+                        + proj_flops
+                        + tail,
+                }
+            }
+            Layer::BottleneckBlock {
+                out_channels,
+                stride,
+            } => {
+                assert!(
+                    out_channels.is_multiple_of(4),
+                    "bottleneck width must be divisible by 4"
+                );
+                let mid = out_channels / 4;
+                let c1 = conv2d_cost(input, mid, 1, 1, 0);
+                let b1 = Layer::BatchNorm.cost(c1.output);
+                let c2 = conv2d_cost(c1.output, mid, 3, stride, 1);
+                let b2 = Layer::BatchNorm.cost(c2.output);
+                let c3 = conv2d_cost(c2.output, out_channels, 1, 1, 0);
+                let b3 = Layer::BatchNorm.cost(c3.output);
+                let (proj_params, proj_flops) = if stride != 1 || input.c != out_channels {
+                    let p = conv2d_cost(input, out_channels, 1, stride, 0);
+                    (p.params, p.fwd_flops)
+                } else {
+                    (0, 0.0)
+                };
+                // Two inner ReLUs, skip-add, final ReLU.
+                let act = 2.0 * (c1.output.numel() + c2.output.numel()) as f64
+                    + 2.0 * c3.output.numel() as f64;
+                LayerCost {
+                    output: c3.output,
+                    params: c1.params
+                        + b1.params
+                        + c2.params
+                        + b2.params
+                        + c3.params
+                        + b3.params
+                        + proj_params,
+                    fwd_flops: c1.fwd_flops
+                        + b1.fwd_flops
+                        + c2.fwd_flops
+                        + b2.fwd_flops
+                        + c3.fwd_flops
+                        + b3.fwd_flops
+                        + proj_flops
+                        + act,
+                }
+            }
+            Layer::Softmax => LayerCost {
+                output: Dims::flat(input.numel()),
+                params: 0,
+                fwd_flops: 5.0 * input.numel() as f64,
+            },
+        }
+    }
+
+    /// Short human-readable name for summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Conv2d { .. } => "conv2d",
+            Layer::MaxPool { .. } => "maxpool",
+            Layer::Dense { .. } => "dense",
+            Layer::ReLU => "relu",
+            Layer::BatchNorm => "batchnorm",
+            Layer::LocalResponseNorm => "lrn",
+            Layer::GlobalAvgPool => "gap",
+            Layer::ResidualBlock { .. } => "resblock",
+            Layer::BottleneckBlock { .. } => "bottleneck",
+            Layer::Softmax => "softmax",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_and_params() {
+        // 3x32x32 -> conv 5x5, 64 channels, stride 1, pad 2 -> 64x32x32.
+        let c = Layer::Conv2d {
+            out_channels: 64,
+            kernel: 5,
+            stride: 1,
+            padding: 2,
+        }
+        .cost(Dims::new(3, 32, 32));
+        assert_eq!(c.output, Dims::new(64, 32, 32));
+        assert_eq!(c.params, 3 * 64 * 25 + 64);
+        // MACs = 32*32*64*3*25
+        assert_eq!(c.fwd_flops, 2.0 * (32 * 32 * 64 * 3 * 25) as f64);
+    }
+
+    #[test]
+    fn strided_conv_downsamples() {
+        let c = Layer::Conv2d {
+            out_channels: 32,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        }
+        .cost(Dims::new(16, 32, 32));
+        assert_eq!(c.output, Dims::new(32, 16, 16));
+    }
+
+    #[test]
+    fn pool_halves_spatial() {
+        let c = Layer::MaxPool {
+            kernel: 2,
+            stride: 2,
+        }
+        .cost(Dims::new(64, 32, 32));
+        assert_eq!(c.output, Dims::new(64, 16, 16));
+        assert_eq!(c.params, 0);
+    }
+
+    #[test]
+    fn dense_flattens_input() {
+        let c = Layer::Dense { out_features: 100 }.cost(Dims::new(64, 4, 4));
+        assert_eq!(c.output, Dims::flat(100));
+        assert_eq!(c.params, 64 * 4 * 4 * 100 + 100);
+        assert_eq!(c.fwd_flops, 2.0 * (64 * 4 * 4 * 100) as f64);
+    }
+
+    #[test]
+    fn residual_block_identity_vs_projection() {
+        let input = Dims::new(16, 32, 32);
+        let identity = Layer::ResidualBlock {
+            out_channels: 16,
+            stride: 1,
+        }
+        .cost(input);
+        assert_eq!(identity.output, Dims::new(16, 32, 32));
+        let proj = Layer::ResidualBlock {
+            out_channels: 32,
+            stride: 2,
+        }
+        .cost(input);
+        assert_eq!(proj.output, Dims::new(32, 16, 16));
+        // Projection block has the extra 1x1 conv.
+        let conv1 = 16 * 32 * 9 + 32;
+        let conv2 = 32 * 32 * 9 + 32;
+        let bn = 2 * (2 * 32);
+        let skip = 16 * 32 + 32;
+        assert_eq!(proj.params, conv1 + conv2 + bn + skip);
+        assert!(proj.params > identity.params);
+    }
+
+    #[test]
+    fn bottleneck_block_shapes_and_projection() {
+        let input = Dims::new(64, 56, 56);
+        // Identity bottleneck at matching width.
+        let id = Layer::BottleneckBlock {
+            out_channels: 64,
+            stride: 1,
+        }
+        .cost(input);
+        assert_eq!(id.output, Dims::new(64, 56, 56));
+        // Downsampling bottleneck doubles channels, halves space, and
+        // pays for the projection.
+        let down = Layer::BottleneckBlock {
+            out_channels: 128,
+            stride: 2,
+        }
+        .cost(input);
+        assert_eq!(down.output, Dims::new(128, 28, 28));
+        assert!(down.params > id.params);
+        // 1-1-3-1 structure: mid width = out/4.
+        let mid = 128 / 4;
+        let expect = 64 * mid + mid        // 1x1 reduce
+            + mid * mid * 9 + mid          // 3x3
+            + mid * 128 + 128              // 1x1 expand
+            + 2 * (mid + mid + 128)        // three BNs
+            + 64 * 128 + 128; // projection
+        assert_eq!(down.params, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn bottleneck_width_must_be_divisible() {
+        Layer::BottleneckBlock {
+            out_channels: 30,
+            stride: 1,
+        }
+        .cost(Dims::new(30, 8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn oversized_kernel_panics() {
+        Layer::Conv2d {
+            out_channels: 8,
+            kernel: 7,
+            stride: 1,
+            padding: 0,
+        }
+        .cost(Dims::new(1, 4, 4));
+    }
+
+    #[test]
+    fn stateless_layers_preserve_shape() {
+        let d = Dims::new(8, 5, 5);
+        for layer in [Layer::ReLU, Layer::BatchNorm, Layer::LocalResponseNorm] {
+            assert_eq!(layer.cost(d).output, d);
+        }
+        assert_eq!(Layer::GlobalAvgPool.cost(d).output, Dims::new(8, 1, 1));
+    }
+}

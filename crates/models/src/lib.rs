@@ -1,0 +1,30 @@
+//! # cynthia-models — DNN layer algebra and model zoo
+//!
+//! Cynthia's performance model consumes two per-workload scalars: the
+//! floating-point work of one training iteration (`w_iter`) and the size of
+//! the model parameters exchanged with the parameter server (`g_param`).
+//! The paper obtains both by profiling TensorFlow models; this crate
+//! computes them from first principles with a small layer algebra:
+//!
+//! * [`layer`] — layer descriptors (convolution, dense, pooling, batch
+//!   norm, residual blocks, ...) with shape inference, parameter counts,
+//!   and forward-pass FLOP counts.
+//! * [`graph`] — sequential model graphs, whole-model summaries, and the
+//!   per-layer parameter distribution used by the simulator's layer-wise
+//!   communication pipelining.
+//! * [`zoo`] — the paper's four workloads: ResNet-32 and VGG-19 on
+//!   cifar10, the TensorFlow-tutorial mnist DNN and cifar10 DNN.
+//! * [`dataset`] — dataset descriptors (mnist, cifar10).
+//! * [`workload`] — Table 1's training configurations plus each workload's
+//!   ground-truth system constants (PS apply cost, convergence profile).
+
+pub mod dataset;
+pub mod graph;
+pub mod layer;
+pub mod workload;
+pub mod zoo;
+
+pub use dataset::Dataset;
+pub use graph::{ModelGraph, ModelSummary};
+pub use layer::{Dims, Layer};
+pub use workload::{ConvergenceProfile, SyncMode, Workload};

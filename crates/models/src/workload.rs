@@ -1,0 +1,377 @@
+//! Training workload configurations (the paper's Table 1) plus each
+//! workload's ground-truth system constants.
+//!
+//! ## Effective FLOPs calibration
+//!
+//! The capability table rates an m4.xlarge worker core at 0.9 GFLOPS, but
+//! the *delivered* throughput of a TensorFlow CPU kernel mix differs per
+//! model (convolutions vectorize far better than small dense layers). The
+//! paper's Table 4 lets us back out each workload's single-worker iteration
+//! time `t_base = 2·g_param / b_prof`; we store
+//! `w_iter = t_base · 0.9 GFLOPS` — the per-iteration work *in
+//! capability-table units* — so that simulated compute times, profiling,
+//! and cross-instance predictions are mutually consistent (the same
+//! assumption Fig. 8 relies on: kernel efficiency is a property of the
+//! model, not the instance type). The ratio of the architectural FLOP count
+//! (from [`crate::zoo`]) to `w_iter` is exposed as
+//! [`Workload::delivered_efficiency`].
+
+use crate::dataset::Dataset;
+use crate::graph::ModelGraph;
+use crate::zoo;
+use serde::{Deserialize, Serialize};
+
+/// Parameter-synchronization mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Bulk synchronous parallel: one global update per iteration, paced by
+    /// the slowest worker, computation/communication overlapped
+    /// (TensorFlow `SyncReplicasOptimizer`).
+    Bsp,
+    /// Asynchronous parallel: each worker pushes/pulls independently;
+    /// staleness slows convergence by ≈ √n (Eq. 1).
+    Asp,
+}
+
+impl SyncMode {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyncMode::Bsp => "BSP",
+            SyncMode::Asp => "ASP",
+        }
+    }
+}
+
+/// Ground-truth convergence behaviour of a workload under SGD, matching the
+/// empirical form of Eq. (1):
+/// `loss(s) = β0/s + β1` (BSP) or `β0·√n/s + β1` (ASP, `s` total updates).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceProfile {
+    /// Convergence-rate constant (Eq. 1's β0).
+    pub beta0: f64,
+    /// Asymptotic loss floor (Eq. 1's β1).
+    pub beta1: f64,
+    /// Loss at iteration 0 (caps the hyperbola early on).
+    pub initial_loss: f64,
+    /// Multiplicative noise (std) on the excess loss, mimicking minibatch
+    /// variance.
+    pub noise_sd: f64,
+}
+
+impl ConvergenceProfile {
+    /// Noise-free loss after `s` global updates with `n` workers.
+    pub fn expected_loss(&self, sync: SyncMode, s: u64, n_workers: u32) -> f64 {
+        if s == 0 {
+            return self.initial_loss;
+        }
+        let stale = match sync {
+            SyncMode::Bsp => 1.0,
+            SyncMode::Asp => (n_workers as f64).sqrt(),
+        };
+        (self.beta0 * stale / s as f64 + self.beta1).min(self.initial_loss)
+    }
+
+    /// Global updates needed to reach `target` (noise-free), or `None` if
+    /// the target is at or below the floor β1.
+    pub fn updates_to_reach(&self, sync: SyncMode, target: f64, n_workers: u32) -> Option<u64> {
+        if target <= self.beta1 {
+            return None;
+        }
+        let stale = match sync {
+            SyncMode::Bsp => 1.0,
+            SyncMode::Asp => (n_workers as f64).sqrt(),
+        };
+        Some((self.beta0 * stale / (target - self.beta1)).ceil() as u64)
+    }
+}
+
+/// A DDNN training workload: model, dataset, and Table 1 configuration,
+/// plus the constants that drive the ground-truth simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    pub model: ModelGraph,
+    pub dataset: Dataset,
+    /// Total training iterations (Table 1; global updates for both BSP and
+    /// ASP).
+    pub iterations: u64,
+    /// Mini-batch size (global for BSP, per-update for ASP).
+    pub batch_size: u32,
+    pub sync: SyncMode,
+    /// Per-iteration training work in capability-table GFLOPs (see module
+    /// docs).
+    pub w_iter_gflops: f64,
+    /// PS CPU cost of receiving + applying one worker's update, in GFLOP
+    /// per MB of gradient payload (network stack + deserialize + apply).
+    pub ps_apply_gflops_per_mb: f64,
+    pub convergence: ConvergenceProfile,
+}
+
+impl Workload {
+    /// Parameter payload exchanged with the PS per push or pull, MB
+    /// (the paper's `g_param`).
+    pub fn param_mb(&self) -> f64 {
+        self.model.summary().param_mb
+    }
+
+    /// PS CPU work to ingest one worker's full update, GFLOP.
+    pub fn ps_apply_gflops(&self) -> f64 {
+        self.ps_apply_gflops_per_mb * self.param_mb()
+    }
+
+    /// Architectural training GFLOPs of one iteration (layer algebra).
+    pub fn architectural_gflops(&self) -> f64 {
+        self.model.train_gflops_per_iteration(self.batch_size)
+    }
+
+    /// Ratio of capability-table work to architectural work — how
+    /// efficiently the kernel mix runs relative to the rated FLOPS
+    /// (documented calibration; see module docs).
+    pub fn delivered_efficiency(&self) -> f64 {
+        self.w_iter_gflops / self.architectural_gflops()
+    }
+
+    /// A short identifier, e.g. `"ResNet-32/ASP"`.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.model.name, self.sync.label())
+    }
+
+    /// The same workload under a different synchronization mechanism
+    /// (Fig. 11 trains ResNet-32 with BSP although Table 1 lists it under
+    /// ASP).
+    pub fn with_sync(mut self, sync: SyncMode) -> Workload {
+        self.sync = sync;
+        self
+    }
+
+    /// The same workload with a different iteration budget.
+    pub fn with_iterations(mut self, iterations: u64) -> Workload {
+        assert!(iterations > 0, "need at least one iteration");
+        self.iterations = iterations;
+        self
+    }
+
+    /// Table 1, row 1: ResNet-32 on cifar10, ASP, 3 000 iterations,
+    /// batch 128.
+    pub fn resnet32_asp() -> Workload {
+        Workload {
+            model: zoo::resnet32(),
+            dataset: Dataset::cifar10(),
+            iterations: 3_000,
+            batch_size: 128,
+            sync: SyncMode::Asp,
+            // t_base ≈ 23.4 s on an m4 core (Table 4: 2·2.22/0.19).
+            w_iter_gflops: 21.03,
+            // Many small tensors -> higher per-MB PS overhead than the
+            // dense-tensor models. (Table 4's c_prof would imply ≈ 1.26
+            // GFLOP/MB, but that is inconsistent with the paper's own
+            // Fig. 11, where ResNet-32 BSP scales to ~15 workers; 0.2
+            // reconciles both — see EXPERIMENTS.md.)
+            ps_apply_gflops_per_mb: 0.20,
+            convergence: ConvergenceProfile {
+                beta0: 450.0,
+                beta1: 0.45,
+                initial_loss: 2.8,
+                noise_sd: 0.02,
+            },
+        }
+    }
+
+    /// Table 1, row 2: the mnist DNN, BSP, 10 000 iterations, batch 512.
+    pub fn mnist_bsp() -> Workload {
+        Workload {
+            model: zoo::mnist_dnn(),
+            dataset: Dataset::mnist(),
+            iterations: 10_000,
+            batch_size: 512,
+            sync: SyncMode::Bsp,
+            // t_base ≈ 0.0395 s (Table 4: 2·0.33/16.69).
+            w_iter_gflops: 0.0356,
+            // Calibrated so the PS CPU saturates around 4 workers
+            // (Table 2) while Fig. 1(b)'s U-shape bottoms near 3-4.
+            ps_apply_gflops_per_mb: 0.10,
+            convergence: ConvergenceProfile {
+                beta0: 80.0,
+                beta1: 0.05,
+                initial_loss: 2.3,
+                noise_sd: 0.02,
+            },
+        }
+    }
+
+    /// Table 1, row 3: VGG-19 on cifar10, ASP, 1 000 iterations, batch 128.
+    pub fn vgg19_asp() -> Workload {
+        Workload {
+            model: zoo::vgg19(),
+            dataset: Dataset::cifar10(),
+            iterations: 1_000,
+            batch_size: 128,
+            sync: SyncMode::Asp,
+            // t_base ≈ 20.1 s (Table 4: 2·135.84/13.49).
+            w_iter_gflops: 18.13,
+            // Large dense tensors stream efficiently
+            // (Table 4: 0.33·20.1/135.84 ≈ 0.049 GFLOP/MB).
+            ps_apply_gflops_per_mb: 0.0489,
+            convergence: ConvergenceProfile {
+                beta0: 150.0,
+                beta1: 0.10,
+                initial_loss: 2.5,
+                noise_sd: 0.02,
+            },
+        }
+    }
+
+    /// Table 1, row 4: the cifar10 DNN, BSP, 10 000 iterations, batch 512.
+    pub fn cifar10_bsp() -> Workload {
+        Workload {
+            model: zoo::cifar10_dnn(),
+            dataset: Dataset::cifar10(),
+            iterations: 10_000,
+            batch_size: 512,
+            sync: SyncMode::Bsp,
+            // t_base ≈ 6.33 s (Table 4: 2·4.94/1.56).
+            w_iter_gflops: 5.70,
+            // Calibrated just below the NIC serialization cost so the
+            // Fig. 3 regime (comm grows linearly, no hard PS bottleneck)
+            // reproduces.
+            ps_apply_gflops_per_mb: 0.055,
+            convergence: ConvergenceProfile {
+                beta0: 700.0,
+                beta1: 0.45,
+                initial_loss: 4.6,
+                noise_sd: 0.02,
+            },
+        }
+    }
+
+    /// Future-work extension (Sec. 7): ResNet-50 on ImageNet with BSP.
+    /// Not part of Table 1; used by the GPU-cluster extension experiment.
+    /// The per-iteration work is enormous relative to the CPU workloads
+    /// (≈ 790 architectural GFLOP per 32-sample batch), which is exactly
+    /// why the paper defers it to GPU clusters.
+    pub fn resnet50_bsp() -> Workload {
+        Workload {
+            model: zoo::resnet50(),
+            dataset: Dataset::imagenet(),
+            iterations: 50_000,
+            batch_size: 32,
+            sync: SyncMode::Bsp,
+            // Capability-table units at ResNet-like delivered efficiency
+            // (~0.37 of architectural, matching ResNet-32's calibration).
+            w_iter_gflops: 290.0,
+            // Large dense convolution tensors stream like VGG's.
+            ps_apply_gflops_per_mb: 0.05,
+            convergence: ConvergenceProfile {
+                beta0: 30_000.0,
+                beta1: 1.8,
+                initial_loss: 6.9,
+                noise_sd: 0.02,
+            },
+        }
+    }
+
+    /// All four Table 1 workloads.
+    pub fn table1() -> Vec<Workload> {
+        vec![
+            Self::resnet32_asp(),
+            Self::mnist_bsp(),
+            Self::vgg19_asp(),
+            Self::cifar10_bsp(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let t1 = Workload::table1();
+        assert_eq!(t1.len(), 4);
+        let r = &t1[0];
+        assert_eq!((r.iterations, r.batch_size, r.sync), (3000, 128, SyncMode::Asp));
+        let m = &t1[1];
+        assert_eq!((m.iterations, m.batch_size, m.sync), (10000, 512, SyncMode::Bsp));
+        let v = &t1[2];
+        assert_eq!((v.iterations, v.batch_size, v.sync), (1000, 128, SyncMode::Asp));
+        let c = &t1[3];
+        assert_eq!((c.iterations, c.batch_size, c.sync), (10000, 512, SyncMode::Bsp));
+    }
+
+    #[test]
+    fn baseline_iteration_times_match_table4_derivation() {
+        // t_base = w_iter / 0.9 GFLOPS must land on the paper's implied
+        // single-core iteration times.
+        let cases = [
+            (Workload::resnet32_asp(), 23.4),
+            (Workload::mnist_bsp(), 0.0395),
+            (Workload::vgg19_asp(), 20.1),
+            (Workload::cifar10_bsp(), 6.33),
+        ];
+        for (w, t_base) in cases {
+            let t = w.w_iter_gflops / 0.9;
+            assert!(
+                (t - t_base).abs() / t_base < 0.02,
+                "{}: t_base {t} vs paper {t_base}",
+                w.id()
+            );
+        }
+    }
+
+    #[test]
+    fn bsp_loss_is_worker_independent_and_asp_degrades() {
+        let c = Workload::cifar10_bsp().convergence;
+        let l4 = c.expected_loss(SyncMode::Bsp, 2000, 4);
+        let l8 = c.expected_loss(SyncMode::Bsp, 2000, 8);
+        assert_eq!(l4, l8, "BSP loss must not depend on workers");
+
+        let r = Workload::resnet32_asp().convergence;
+        let a4 = r.expected_loss(SyncMode::Asp, 3000, 4);
+        let a9 = r.expected_loss(SyncMode::Asp, 3000, 9);
+        assert!(a9 > a4, "ASP staleness must slow convergence: {a4} vs {a9}");
+    }
+
+    #[test]
+    fn updates_to_reach_inverts_expected_loss() {
+        let c = Workload::cifar10_bsp().convergence;
+        let s = c.updates_to_reach(SyncMode::Bsp, 0.8, 1).unwrap();
+        assert_eq!(s, 2000); // 700 / 0.35
+        let back = c.expected_loss(SyncMode::Bsp, s, 1);
+        assert!(back <= 0.8 + 1e-9);
+        assert!(c.updates_to_reach(SyncMode::Bsp, 0.4, 1).is_none());
+    }
+
+    #[test]
+    fn asp_needs_more_updates_for_same_target() {
+        let r = Workload::resnet32_asp().convergence;
+        let s4 = r.updates_to_reach(SyncMode::Asp, 0.6, 4).unwrap();
+        let s9 = r.updates_to_reach(SyncMode::Asp, 0.6, 9).unwrap();
+        assert!(s9 > s4);
+    }
+
+    #[test]
+    fn initial_loss_caps_the_curve() {
+        let c = Workload::cifar10_bsp().convergence;
+        assert_eq!(c.expected_loss(SyncMode::Bsp, 0, 1), 4.6);
+        assert_eq!(c.expected_loss(SyncMode::Bsp, 1, 1), 4.6); // hyperbola capped
+        assert!(c.expected_loss(SyncMode::Bsp, 10_000, 1) < 0.6);
+    }
+
+    #[test]
+    fn efficiencies_are_finite_and_positive() {
+        for w in Workload::table1() {
+            let e = w.delivered_efficiency();
+            assert!(e.is_finite() && e > 0.0, "{}: {e}", w.id());
+            assert!(w.param_mb() > 0.0);
+            assert!(w.ps_apply_gflops() > 0.0);
+        }
+    }
+
+    #[test]
+    fn vgg_dominates_parameter_traffic() {
+        let v = Workload::vgg19_asp();
+        let m = Workload::mnist_bsp();
+        assert!(v.param_mb() / m.param_mb() > 100.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The four DNNs of the paper's evaluation (Table 1).
+//!
+//! * `resnet32` — ResNet-32 for CIFAR-10 (3 stages × 5 basic blocks,
+//!   16/32/64 channels).
+//! * `vgg19` — VGG-19 adapted to 32×32 inputs (configuration E convolutions,
+//!   4096-wide fully connected head).
+//! * `mnist_dnn` — the TensorFlow-tutorial MNIST network (784-100-10 MLP;
+//!   its 79.5k parameters ≈ 0.32 MB match Table 4's 0.33 MB).
+//! * `cifar10_dnn` — the TensorFlow-tutorial CIFAR-10 network (two 5×5
+//!   convolution + pool + LRN stages, 384/192 dense head).
+
+use crate::graph::ModelGraph;
+use crate::layer::{Dims, Layer};
+
+fn conv3(out_channels: usize) -> Layer {
+    Layer::Conv2d {
+        out_channels,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    }
+}
+
+fn pool2() -> Layer {
+    Layer::MaxPool {
+        kernel: 2,
+        stride: 2,
+    }
+}
+
+/// ResNet-32 on 3×32×32 inputs (He et al.'s CIFAR variant): 5 basic blocks
+/// per stage, widths 16/32/64, global average pooling and a 10-way head.
+pub fn resnet32() -> ModelGraph {
+    let mut layers = vec![conv3(16), Layer::BatchNorm, Layer::ReLU];
+    for (width, blocks) in [(16usize, 5usize), (32, 5), (64, 5)] {
+        for b in 0..blocks {
+            let stride = if width != 16 && b == 0 { 2 } else { 1 };
+            layers.push(Layer::ResidualBlock {
+                out_channels: width,
+                stride,
+            });
+        }
+    }
+    layers.push(Layer::GlobalAvgPool);
+    layers.push(Layer::Dense { out_features: 10 });
+    layers.push(Layer::Softmax);
+    ModelGraph::new("ResNet-32", Dims::new(3, 32, 32), layers)
+}
+
+/// VGG-19 (configuration E) on 3×32×32 inputs with the classic
+/// 4096-4096-10 dense head; parameters land at ≈ 156 MB, the same order as
+/// the 135.84 MB the paper profiles for its VGG-19.
+pub fn vgg19() -> ModelGraph {
+    let mut layers = Vec::new();
+    for (width, convs) in [(64usize, 2usize), (128, 2), (256, 4), (512, 4), (512, 4)] {
+        for _ in 0..convs {
+            layers.push(conv3(width));
+            layers.push(Layer::ReLU);
+        }
+        layers.push(pool2());
+    }
+    layers.push(Layer::Dense { out_features: 4096 });
+    layers.push(Layer::ReLU);
+    layers.push(Layer::Dense { out_features: 4096 });
+    layers.push(Layer::ReLU);
+    layers.push(Layer::Dense { out_features: 10 });
+    layers.push(Layer::Softmax);
+    ModelGraph::new("VGG-19", Dims::new(3, 32, 32), layers)
+}
+
+/// ResNet-50 on 3×224×224 ImageNet inputs (the paper's future-work
+/// target): 7×7/2 stem, 3×3/2 max-pool, bottleneck stages [3, 4, 6, 3]
+/// at expanded widths 256/512/1024/2048, global average pooling, and a
+/// 1000-way head. Lands at the canonical ≈ 25.6M parameters.
+pub fn resnet50() -> ModelGraph {
+    let mut layers = vec![
+        Layer::Conv2d {
+            out_channels: 64,
+            kernel: 7,
+            stride: 2,
+            padding: 3,
+        },
+        Layer::BatchNorm,
+        Layer::ReLU,
+        Layer::MaxPool {
+            kernel: 3,
+            stride: 2,
+        },
+    ];
+    for (width, blocks, first_stride) in [
+        (256usize, 3usize, 1usize),
+        (512, 4, 2),
+        (1024, 6, 2),
+        (2048, 3, 2),
+    ] {
+        for b in 0..blocks {
+            layers.push(Layer::BottleneckBlock {
+                out_channels: width,
+                stride: if b == 0 { first_stride } else { 1 },
+            });
+        }
+    }
+    layers.push(Layer::GlobalAvgPool);
+    layers.push(Layer::Dense { out_features: 1000 });
+    layers.push(Layer::Softmax);
+    ModelGraph::new("ResNet-50", Dims::new(3, 224, 224), layers)
+}
+
+/// The TensorFlow-tutorial MNIST DNN: a 784-100-10 multilayer perceptron.
+pub fn mnist_dnn() -> ModelGraph {
+    ModelGraph::new(
+        "mnist DNN",
+        Dims::flat(784),
+        vec![
+            Layer::Dense { out_features: 100 },
+            Layer::ReLU,
+            Layer::Dense { out_features: 10 },
+            Layer::Softmax,
+        ],
+    )
+}
+
+/// The TensorFlow-tutorial CIFAR-10 DNN: conv5×5(64) → pool3/2 → LRN →
+/// conv5×5(64) → LRN → pool3/2 → dense 384 → dense 192 → dense 10.
+pub fn cifar10_dnn() -> ModelGraph {
+    ModelGraph::new(
+        "cifar10 DNN",
+        Dims::new(3, 32, 32),
+        vec![
+            Layer::Conv2d {
+                out_channels: 64,
+                kernel: 5,
+                stride: 1,
+                padding: 2,
+            },
+            Layer::ReLU,
+            Layer::MaxPool {
+                kernel: 3,
+                stride: 2,
+            },
+            Layer::LocalResponseNorm,
+            Layer::Conv2d {
+                out_channels: 64,
+                kernel: 5,
+                stride: 1,
+                padding: 2,
+            },
+            Layer::ReLU,
+            Layer::LocalResponseNorm,
+            Layer::MaxPool {
+                kernel: 3,
+                stride: 2,
+            },
+            Layer::Dense { out_features: 384 },
+            Layer::ReLU,
+            Layer::Dense { out_features: 192 },
+            Layer::ReLU,
+            Layer::Dense { out_features: 10 },
+            Layer::Softmax,
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_dnn_matches_table4_parameter_size() {
+        let s = mnist_dnn().summary();
+        assert_eq!(s.params, 784 * 100 + 100 + 100 * 10 + 10);
+        // Table 4: g_param = 0.33 MB.
+        assert!(
+            (s.param_mb - 0.33).abs() < 0.02,
+            "mnist param_mb = {}",
+            s.param_mb
+        );
+    }
+
+    #[test]
+    fn resnet32_has_the_expected_depth_and_size() {
+        let s = resnet32().summary();
+        // The CIFAR ResNet-32 has ~0.46M weights; BN and biases push the
+        // algebra slightly above.
+        assert!(
+            (0.4e6..0.55e6).contains(&(s.params as f64)),
+            "resnet32 params = {}",
+            s.params
+        );
+        // Table 4: 2.22 MB; ours lands in the same band.
+        assert!(
+            (1.5..2.5).contains(&s.param_mb),
+            "resnet32 param_mb = {}",
+            s.param_mb
+        );
+    }
+
+    #[test]
+    fn vgg19_is_parameter_heavy() {
+        let s = vgg19().summary();
+        // Table 4: 135.84 MB. Conv stack ~20M + dense head ~19M weights.
+        assert!(
+            (120.0..170.0).contains(&s.param_mb),
+            "vgg19 param_mb = {}",
+            s.param_mb
+        );
+        // VGG dominates the other models by two orders of magnitude.
+        assert!(s.param_mb > 20.0 * resnet32().summary().param_mb);
+    }
+
+    #[test]
+    fn cifar10_dnn_matches_table4_band() {
+        let s = cifar10_dnn().summary();
+        // Table 4: 4.94 MB.
+        assert!(
+            (4.0..7.0).contains(&s.param_mb),
+            "cifar10 DNN param_mb = {}",
+            s.param_mb
+        );
+    }
+
+    #[test]
+    fn all_models_end_in_ten_classes() {
+        for g in [resnet32(), vgg19(), mnist_dnn(), cifar10_dnn()] {
+            assert_eq!(g.output().numel(), 10, "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn resnet50_matches_the_canonical_size() {
+        let s = resnet50().summary();
+        // Canonical ResNet-50: 25.6M params, ~4.1 GMACs forward.
+        assert!(
+            (24.0e6..27.0e6).contains(&(s.params as f64)),
+            "resnet50 params = {}",
+            s.params
+        );
+        assert!(
+            (6.0e9..10.0e9).contains(&s.fwd_flops_per_sample),
+            "resnet50 fwd flops = {:.3e}",
+            s.fwd_flops_per_sample
+        );
+        assert_eq!(resnet50().output().numel(), 1000);
+    }
+
+    #[test]
+    fn flop_ordering_is_sane() {
+        // Per-sample compute: VGG-19 > ResNet-32 > cifar10 DNN > mnist DNN.
+        let f = |g: ModelGraph| g.summary().fwd_flops_per_sample;
+        let (v, r, c, m) = (f(vgg19()), f(resnet32()), f(cifar10_dnn()), f(mnist_dnn()));
+        assert!(v > r && r > c && c > m, "v={v} r={r} c={c} m={m}");
+    }
+
+    #[test]
+    fn chunking_works_on_every_zoo_model() {
+        for g in [resnet32(), vgg19(), mnist_dnn(), cifar10_dnn()] {
+            let total = g.summary().param_mb;
+            let chunks = g.param_chunks_mb(8);
+            assert!(!chunks.is_empty());
+            let sum: f64 = chunks.iter().sum();
+            assert!((sum - total).abs() < 1e-9, "{}", g.name);
+        }
+    }
+}

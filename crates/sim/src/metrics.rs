@@ -1,0 +1,263 @@
+//! Measurement plumbing for simulations: time-weighted utilization,
+//! throughput time series, and summary statistics.
+
+use crate::Time;
+use serde::{Deserialize, Serialize};
+
+/// Integrates a piecewise-constant utilization level over virtual time.
+///
+/// The Cynthia paper reports *average CPU utilization* of PS nodes and
+/// workers (Table 2): the time integral of the instantaneous utilization
+/// divided by elapsed time. `UtilizationTracker` records level changes and
+/// produces that average for any observation window.
+#[derive(Debug, Clone)]
+pub struct UtilizationTracker {
+    /// Time at which the current level became active.
+    since: Time,
+    level: f64,
+    /// Accumulated integral of level over [start, since].
+    integral: f64,
+    start: Time,
+}
+
+impl UtilizationTracker {
+    /// Starts tracking at `t0` with utilization 0.
+    pub fn new(t0: Time) -> Self {
+        UtilizationTracker {
+            since: t0,
+            level: 0.0,
+            integral: 0.0,
+            start: t0,
+        }
+    }
+
+    /// Records that the utilization level changed to `level` at time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the previous update.
+    pub fn set_level(&mut self, t: Time, level: f64) {
+        assert!(
+            t >= self.since - crate::EPS,
+            "utilization update out of order: {t} < {}",
+            self.since
+        );
+        let dt = (t - self.since).max(0.0);
+        self.integral += self.level * dt;
+        self.since = t;
+        self.level = level;
+    }
+
+    /// The current instantaneous level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Average utilization over `[start, t]`.
+    pub fn average_until(&self, t: Time) -> f64 {
+        let total = t - self.start;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let tail = self.level * (t - self.since).max(0.0);
+        (self.integral + tail) / total
+    }
+}
+
+/// Accumulates transferred volume and buckets it into a rate time series.
+///
+/// Used to reproduce Figs. 2 and 7 (PS network throughput over time).
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputRecorder {
+    /// `(time, volume)` increments in non-decreasing time order.
+    samples: Vec<(Time, f64)>,
+}
+
+impl ThroughputRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `volume` (MB) finished transferring during the interval
+    /// ending at `t` with duration `dt`; the volume is spread uniformly over
+    /// the interval when bucketing.
+    pub fn record_interval(&mut self, t_end: Time, dt: Time, volume: f64) {
+        if volume <= 0.0 {
+            return;
+        }
+        if dt <= 0.0 {
+            self.samples.push((t_end, volume));
+        } else {
+            // Spread as two endpoints; bucketing interpolates by midpoint.
+            self.samples.push((t_end - dt * 0.5, volume));
+        }
+    }
+
+    /// Total recorded volume.
+    pub fn total_volume(&self) -> f64 {
+        self.samples.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Buckets the recorded volume into windows of `window` seconds over
+    /// `[0, horizon]`, returning `(window_center_time, rate)` pairs where
+    /// rate = volume in window / window length.
+    pub fn series(&self, window: Time, horizon: Time) -> Vec<(Time, f64)> {
+        assert!(window > 0.0, "window must be positive");
+        let n = (horizon / window).ceil().max(1.0) as usize;
+        let mut buckets = vec![0.0f64; n];
+        for &(t, v) in &self.samples {
+            let i = ((t / window) as usize).min(n - 1);
+            buckets[i] += v;
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| ((i as f64 + 0.5) * window, v / window))
+            .collect()
+    }
+
+    /// Mean rate over the busy portion `[0, horizon]`.
+    pub fn mean_rate(&self, horizon: Time) -> f64 {
+        if horizon <= 0.0 {
+            0.0
+        } else {
+            self.total_volume() / horizon
+        }
+    }
+
+    /// Peak bucketed rate for the given window size.
+    pub fn peak_rate(&self, window: Time, horizon: Time) -> f64 {
+        self.series(window, horizon)
+            .into_iter()
+            .map(|(_, r)| r)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    pub n: usize,
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes count/mean/sample-std/min/max of `xs`. Empty input yields
+    /// zeros.
+    pub fn of(xs: &[f64]) -> Stats {
+        let n = xs.len();
+        if n == 0 {
+            return Stats {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Stats {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Mean absolute percentage error between predictions and observations,
+/// the accuracy metric used throughout Sec. 5.1 of the paper.
+///
+/// # Panics
+/// Panics if the slices differ in length or an observation is zero.
+pub fn mape(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "mape of empty sample");
+    let total: f64 = predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| {
+            assert!(*o != 0.0, "observation must be nonzero");
+            ((p - o) / o).abs()
+        })
+        .sum();
+    total / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_integrates_levels() {
+        let mut u = UtilizationTracker::new(0.0);
+        u.set_level(0.0, 1.0); // busy on [0,4)
+        u.set_level(4.0, 0.0); // idle on [4,8)
+        assert!((u.average_until(8.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_partial_levels() {
+        let mut u = UtilizationTracker::new(10.0);
+        u.set_level(10.0, 0.25);
+        u.set_level(14.0, 0.75);
+        // [10,14): 0.25, [14,18): 0.75 -> average 0.5
+        assert!((u.average_until(18.0) - 0.5).abs() < 1e-12);
+        assert_eq!(u.level(), 0.75);
+    }
+
+    #[test]
+    fn utilization_before_any_time_elapsed_is_zero() {
+        let u = UtilizationTracker::new(5.0);
+        assert_eq!(u.average_until(5.0), 0.0);
+    }
+
+    #[test]
+    fn throughput_buckets_volume() {
+        let mut r = ThroughputRecorder::new();
+        r.record_interval(1.0, 1.0, 10.0); // midpoint 0.5 -> bucket 0
+        r.record_interval(3.0, 1.0, 30.0); // midpoint 2.5 -> bucket 2
+        let s = r.series(1.0, 4.0);
+        assert_eq!(s.len(), 4);
+        assert!((s[0].1 - 10.0).abs() < 1e-12);
+        assert!((s[2].1 - 30.0).abs() < 1e-12);
+        assert_eq!(s[1].1, 0.0);
+        assert!((r.total_volume() - 40.0).abs() < 1e-12);
+        assert!((r.mean_rate(4.0) - 10.0).abs() < 1e-12);
+        assert!((r.peak_rate(1.0, 4.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_sample() {
+        let s = Stats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Sample variance of 1..4 = 5/3.
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_and_singleton() {
+        assert_eq!(Stats::of(&[]).n, 0);
+        let s = Stats::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn mape_basic() {
+        let e = mape(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministic randomness plumbing.
+//!
+//! Every stochastic element of the simulation (compute-time jitter, loss
+//! noise) draws from an RNG derived from a single master seed plus a stable
+//! string tag and index, so that (a) whole experiments replay bit-for-bit
+//! and (b) changing the number of workers does not perturb the random
+//! streams of unrelated components.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives a child seed from `(master, tag, index)` using an FNV-1a style
+/// mix. Stable across platforms and releases (unlike `std`'s `DefaultHasher`,
+/// whose algorithm is unspecified).
+pub fn sub_seed(master: u64, tag: &str, index: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET ^ master;
+    for b in tag.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    for b in index.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    // Final avalanche (splitmix64 finalizer) so similar inputs diverge.
+    let mut z = h.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Creates a fast deterministic RNG for the component `(tag, index)`.
+pub fn component_rng(master: u64, tag: &str, index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(sub_seed(master, tag, index))
+}
+
+/// A multiplicative log-normal jitter source with a given coefficient of
+/// variation. Used to perturb compute durations the way real iterations
+/// vary (the paper repeats each workload three times and reports error
+/// bars).
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    rng: SmallRng,
+    /// log-space standard deviation.
+    sigma: f64,
+    /// log-space mean chosen so that E[factor] = 1.
+    mu: f64,
+}
+
+impl Jitter {
+    /// `cv` is the coefficient of variation of the multiplicative factor;
+    /// `cv = 0` disables jitter entirely.
+    pub fn new(master: u64, tag: &str, index: u64, cv: f64) -> Self {
+        assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+        let sigma2 = (1.0 + cv * cv).ln();
+        Jitter {
+            rng: component_rng(master, tag, index),
+            sigma: sigma2.sqrt(),
+            mu: -0.5 * sigma2,
+        }
+    }
+
+    /// Draws a factor with mean 1. With `cv = 0` always returns exactly 1.
+    pub fn factor(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        // Box-Muller from two uniforms; SmallRng is fine for simulation use.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Applies the jitter to a duration.
+    pub fn perturb(&mut self, duration: f64) -> f64 {
+        duration * self.factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_seed_is_deterministic_and_tag_sensitive() {
+        assert_eq!(sub_seed(1, "worker", 0), sub_seed(1, "worker", 0));
+        assert_ne!(sub_seed(1, "worker", 0), sub_seed(1, "worker", 1));
+        assert_ne!(sub_seed(1, "worker", 0), sub_seed(1, "ps", 0));
+        assert_ne!(sub_seed(1, "worker", 0), sub_seed(2, "worker", 0));
+    }
+
+    #[test]
+    fn zero_cv_is_exactly_one() {
+        let mut j = Jitter::new(42, "t", 0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(j.factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn jitter_mean_is_close_to_one() {
+        let mut j = Jitter::new(7, "t", 0, 0.05);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| j.factor()).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 1.0).abs() < 0.01,
+            "jitter mean drifted: {mean}"
+        );
+    }
+
+    #[test]
+    fn jitter_cv_matches_request() {
+        let mut j = Jitter::new(7, "t", 1, 0.10);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| j.factor()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 0.10).abs() < 0.02, "cv drifted: {cv}");
+    }
+
+    #[test]
+    fn identical_streams_replay() {
+        let mut a = Jitter::new(9, "w", 3, 0.03);
+        let mut b = Jitter::new(9, "w", 3, 0.03);
+        for _ in 0..100 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of the max-min fair fluid allocator.
+
+use cynthia_sim::fluid::{FlowSpec, FluidSystem, ResourceId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    capacities: Vec<f64>,
+    /// For each flow: (link indices, volume, weight, optional cap)
+    flows: Vec<(Vec<usize>, f64, f64, Option<f64>)>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    let caps = prop::collection::vec(1.0f64..1000.0, 1..5);
+    caps.prop_flat_map(|capacities| {
+        let n_res = capacities.len();
+        let flow = (
+            prop::collection::vec(0..n_res, 1..=n_res.min(3)),
+            0.1f64..500.0,
+            0.25f64..4.0,
+            prop::option::of(0.5f64..200.0),
+        );
+        let flows = prop::collection::vec(flow, 1..12);
+        (Just(capacities), flows).prop_map(|(capacities, flows)| Scenario { capacities, flows })
+    })
+}
+
+fn build(s: &Scenario) -> (FluidSystem, Vec<ResourceId>, Vec<cynthia_sim::fluid::FlowId>) {
+    let mut sys = FluidSystem::new();
+    let rids: Vec<ResourceId> = s
+        .capacities
+        .iter()
+        .enumerate()
+        .map(|(i, c)| sys.add_resource(*c, format!("r{i}")))
+        .collect();
+    let fids = s
+        .flows
+        .iter()
+        .enumerate()
+        .map(|(i, (links, vol, w, cap))| {
+            sys.start_flow(FlowSpec {
+                links: links.iter().map(|l| rids[*l]).collect(),
+                volume: *vol,
+                weight: *w,
+                max_rate: cap.unwrap_or(f64::INFINITY),
+                tag: i as u64,
+            })
+        })
+        .collect();
+    (sys, rids, fids)
+}
+
+proptest! {
+    /// No resource is ever oversubscribed.
+    #[test]
+    fn capacity_never_exceeded(s in scenario()) {
+        let (mut sys, rids, _) = build(&s);
+        for (i, r) in rids.iter().enumerate() {
+            let used = sys.total_rate_on(*r);
+            prop_assert!(
+                used <= s.capacities[i] * (1.0 + 1e-9) + 1e-9,
+                "resource {i}: used {used} > cap {}", s.capacities[i]
+            );
+        }
+    }
+
+    /// Every flow makes progress: positive rate (capacities are positive and
+    /// every flow has at least one link).
+    #[test]
+    fn all_flows_progress(s in scenario()) {
+        let (mut sys, _, fids) = build(&s);
+        for f in &fids {
+            let rate = sys.flow_rate(*f).unwrap();
+            prop_assert!(rate > 0.0, "flow stuck at rate {rate}");
+        }
+    }
+
+    /// Per-flow caps are honored.
+    #[test]
+    fn caps_respected(s in scenario()) {
+        let (mut sys, _, fids) = build(&s);
+        for (f, (_, _, _, cap)) in fids.iter().zip(&s.flows) {
+            if let Some(c) = cap {
+                let rate = sys.flow_rate(*f).unwrap();
+                prop_assert!(rate <= c * (1.0 + 1e-9), "rate {rate} > cap {c}");
+            }
+        }
+    }
+
+    /// Max-min optimality certificate: each uncapped flow traverses at least
+    /// one saturated resource on which no other flow has a higher
+    /// weight-normalized rate.
+    #[test]
+    fn max_min_certificate(s in scenario()) {
+        let (mut sys, rids, fids) = build(&s);
+        let rates: Vec<f64> = fids.iter().map(|f| sys.flow_rate(*f).unwrap()).collect();
+        let tol = 1e-6;
+        for (i, (links, _, w, cap)) in s.flows.iter().enumerate() {
+            let norm = rates[i] / w;
+            if let Some(c) = cap {
+                if rates[i] >= c * (1.0 - tol) {
+                    continue; // flow is bound by its own cap: certificate holds
+                }
+            }
+            let mut certified = false;
+            for l in links {
+                let used = sys.total_rate_on(rids[*l]);
+                let saturated = used >= s.capacities[*l] * (1.0 - 1e-6);
+                if !saturated {
+                    continue;
+                }
+                // No co-located flow has a strictly higher normalized rate
+                // unless it is frozen lower by another bottleneck: the
+                // certificate only requires that *this* flow's normalized
+                // rate is maximal among flows on `l` that are not bound
+                // elsewhere below it. A simpler sound check: this flow's
+                // normalized rate is >= the minimum share it would get if
+                // the link were split by weight among its flows.
+                let on_link: Vec<usize> = s
+                    .flows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (ls, _, _, _))| ls.contains(l))
+                    .map(|(j, _)| j)
+                    .collect();
+                let max_other_norm = on_link
+                    .iter()
+                    .filter(|j| **j != i)
+                    .map(|j| rates[*j] / s.flows[*j].2)
+                    .fold(0.0f64, f64::max);
+                if norm + tol >= max_other_norm {
+                    certified = true;
+                    break;
+                }
+            }
+            prop_assert!(certified, "flow {i} has no bottleneck certificate");
+        }
+    }
+
+    /// Advancing by the next-completion time completes at least one flow and
+    /// conserves volume (drained = rate * dt for every flow).
+    #[test]
+    fn advance_conserves_volume(s in scenario()) {
+        let (mut sys, _, fids) = build(&s);
+        let before: Vec<f64> = fids.iter().map(|f| sys.flow_remaining(*f).unwrap()).collect();
+        let rates: Vec<f64> = fids.iter().map(|f| sys.flow_rate(*f).unwrap()).collect();
+        if let Some((_, dt)) = sys.next_completion() {
+            let done = sys.advance(dt);
+            prop_assert!(!done.is_empty(), "advance(next_completion) completed nothing");
+            for (i, f) in fids.iter().enumerate() {
+                if let Some(rem) = sys.flow_remaining(*f) {
+                    let expect = (before[i] - rates[i] * dt).max(0.0);
+                    prop_assert!((rem - expect).abs() < 1e-6 * (1.0 + before[i]),
+                        "flow {i}: remaining {rem}, expected {expect}");
+                }
+            }
+        }
+    }
+
+    /// Running the system to completion terminates and delivers every flow
+    /// exactly once.
+    #[test]
+    fn drains_to_empty(s in scenario()) {
+        let (mut sys, _, _) = build(&s);
+        let mut completed = Vec::new();
+        let mut guard = 0;
+        while let Some((_, dt)) = sys.next_completion() {
+            completed.extend(sys.advance(dt).into_iter().map(|(_, tag)| tag));
+            guard += 1;
+            prop_assert!(guard < 10_000, "did not terminate");
+        }
+        prop_assert_eq!(sys.active_flows(), 0);
+        completed.sort_unstable();
+        let expect: Vec<u64> = (0..s.flows.len() as u64).collect();
+        prop_assert_eq!(completed, expect);
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulated training cluster shapes.
+
+use cynthia_cloud::instance::InstanceType;
+use serde::{Deserialize, Serialize};
+
+/// The machines a training job runs on: one worker pod per entry of
+/// `workers` (pinned to a single core of its instance type) and one PS pod
+/// per entry of `ps` (owning the whole node).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub workers: Vec<InstanceType>,
+    pub ps: Vec<InstanceType>,
+}
+
+impl ClusterSpec {
+    /// A homogeneous cluster of `n_workers` workers and `n_ps` PS nodes,
+    /// all of the same type — the shape Cynthia provisions (Sec. 4).
+    pub fn homogeneous(ty: &InstanceType, n_workers: u32, n_ps: u32) -> Self {
+        assert!(n_workers > 0, "need at least one worker");
+        assert!(n_ps > 0, "need at least one PS");
+        ClusterSpec {
+            workers: vec![ty.clone(); n_workers as usize],
+            ps: vec![ty.clone(); n_ps as usize],
+        }
+    }
+
+    /// The paper's heterogeneous shape (Figs. 1 and 9): `⌈n/2⌉` fast
+    /// workers plus `⌊n/2⌋` stragglers, PS nodes on the fast type.
+    pub fn heterogeneous(fast: &InstanceType, straggler: &InstanceType, n: u32, n_ps: u32) -> Self {
+        assert!(n > 0, "need at least one worker");
+        assert!(n_ps > 0, "need at least one PS");
+        let n_fast = n.div_ceil(2);
+        let n_slow = n / 2;
+        let mut workers = vec![fast.clone(); n_fast as usize];
+        workers.extend(std::iter::repeat_with(|| straggler.clone()).take(n_slow as usize));
+        ClusterSpec {
+            workers,
+            ps: vec![fast.clone(); n_ps as usize],
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> u32 {
+        self.workers.len() as u32
+    }
+
+    /// Number of PS nodes.
+    pub fn n_ps(&self) -> u32 {
+        self.ps.len() as u32
+    }
+
+    /// Worker compute capabilities, GFLOPS per worker pod (one core each).
+    pub fn worker_gflops(&self) -> Vec<f64> {
+        self.workers.iter().map(|t| t.core_gflops).collect()
+    }
+
+    /// The slowest worker's capability (paces BSP, Eq. 4).
+    pub fn min_worker_gflops(&self) -> f64 {
+        self.worker_gflops()
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// True if every worker is the same instance type.
+    pub fn is_homogeneous(&self) -> bool {
+        self.workers
+            .windows(2)
+            .all(|w| w[0].name == w[1].name)
+    }
+
+    /// Indices of workers of the given type name (used to report per-type
+    /// utilization, Table 2's "worker (m4)" column).
+    pub fn workers_of_type(&self, name: &str) -> Vec<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cynthia_cloud::default_catalog;
+
+    #[test]
+    fn homogeneous_shape() {
+        let cat = default_catalog();
+        let c = ClusterSpec::homogeneous(cat.expect("m4.xlarge"), 4, 2);
+        assert_eq!(c.n_workers(), 4);
+        assert_eq!(c.n_ps(), 2);
+        assert!(c.is_homogeneous());
+        assert_eq!(c.min_worker_gflops(), 0.90);
+    }
+
+    #[test]
+    fn heterogeneous_splits_per_the_paper() {
+        let cat = default_catalog();
+        let m4 = cat.expect("m4.xlarge");
+        let m1 = cat.expect("m1.xlarge");
+        // n = 7 -> 4 m4 + 3 m1.
+        let c = ClusterSpec::heterogeneous(m4, m1, 7, 1);
+        assert_eq!(c.workers_of_type("m4.xlarge").len(), 4);
+        assert_eq!(c.workers_of_type("m1.xlarge").len(), 3);
+        assert!(!c.is_homogeneous());
+        assert_eq!(c.min_worker_gflops(), 0.50);
+        // PS stays on the fast type.
+        assert_eq!(c.ps[0].name, "m4.xlarge");
+    }
+
+    #[test]
+    fn heterogeneous_with_one_worker_has_no_straggler() {
+        let cat = default_catalog();
+        let c = ClusterSpec::heterogeneous(
+            cat.expect("m4.xlarge"),
+            cat.expect("m1.xlarge"),
+            1,
+            1,
+        );
+        assert_eq!(c.n_workers(), 1);
+        assert!(c.is_homogeneous());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let cat = default_catalog();
+        ClusterSpec::homogeneous(cat.expect("m4.xlarge"), 0, 1);
+    }
+}

@@ -1,0 +1,1117 @@
+//! The discrete-event training engine.
+//!
+//! One engine handles both synchronization modes:
+//!
+//! **BSP** — parameters are sharded into `L` chunks assigned round-robin to
+//! PS nodes. A worker computes iteration `i` in `L` segments; segment `l`
+//! may start once the worker holds chunk `l` of parameter version `i`.
+//! Finishing segment `l` immediately pushes that chunk's gradient (flow:
+//! worker NIC → PS NIC), the PS ingests it (flow: PS CPU), and once all
+//! `n` workers' chunk-`l` gradients are applied the PS broadcasts the new
+//! chunk to every worker (flow: PS NIC → worker NIC). The worker meanwhile
+//! continues with segment `l+1`: computation and communication overlap
+//! mechanically, and the barrier is enforced by data availability, not by
+//! an explicit synchronization primitive. Iteration `i` completes when all
+//! of its gradients are applied (parameter version `i+1` exists on the PS).
+//!
+//! **ASP** — each worker runs an independent cycle: compute a full batch,
+//! push all chunks, wait for its applies to commit, pull fresh parameters,
+//! repeat. Training ends when the global commit count reaches the target.
+//! The staleness of each commit (updates by other workers between this
+//! worker's pull and its commit) is recorded.
+
+use crate::cluster::ClusterSpec;
+use crate::config::SimConfig;
+use crate::report::TrainingReport;
+use crate::trace::{Activity, TraceRecorder};
+use cynthia_models::{SyncMode, Workload};
+use cynthia_sim::events::EventQueue;
+use cynthia_sim::fluid::{FlowSpec, FluidSystem, ResourceId};
+use cynthia_sim::metrics::{Stats, ThroughputRecorder};
+use cynthia_sim::rng::Jitter;
+use std::collections::HashMap;
+
+/// A training job to simulate.
+#[derive(Debug)]
+pub struct TrainJob<'a> {
+    pub workload: &'a Workload,
+    pub cluster: ClusterSpec,
+    pub config: SimConfig,
+}
+
+/// Runs the job to completion and reports every observable the paper
+/// measures.
+pub fn simulate(job: &TrainJob) -> TrainingReport {
+    Engine::new(job).run().0
+}
+
+/// Like [`simulate`], additionally recording an execution trace of up to
+/// `max_spans` activity intervals (compute segments, pushes, applies,
+/// pulls) for timeline inspection — export with
+/// [`TraceRecorder::to_chrome_trace`].
+pub fn simulate_traced(job: &TrainJob, max_spans: usize) -> (TrainingReport, TraceRecorder) {
+    let mut engine = Engine::new(job);
+    engine.trace = Some(TraceRecorder::new(max_spans));
+    let (report, trace) = engine.run();
+    (report, trace.expect("trace was enabled"))
+}
+
+// ---------------------------------------------------------------------
+// Flow tags: kind(2) | worker(14) | chunk(8) | iter(40)
+
+const KIND_PUSH: u64 = 0;
+const KIND_APPLY: u64 = 1;
+const KIND_PULL: u64 = 2;
+
+fn tag(kind: u64, worker: usize, chunk: usize, iter: u64) -> u64 {
+    debug_assert!(worker < (1 << 14) && chunk < (1 << 8) && iter < (1 << 40));
+    (kind << 62) | ((worker as u64) << 48) | ((chunk as u64) << 40) | iter
+}
+
+fn untag(t: u64) -> (u64, usize, usize, u64) {
+    (
+        t >> 62,
+        ((t >> 48) & 0x3fff) as usize,
+        ((t >> 40) & 0xff) as usize,
+        t & 0xff_ffff_ffff,
+    )
+}
+
+/// Queue events: compute-segment completions.
+#[derive(Debug, Clone, Copy)]
+struct SegDone {
+    worker: usize,
+}
+
+#[derive(Debug)]
+struct WorkerState {
+    /// BSP: iteration currently being computed. ASP: local cycle index.
+    iter: u64,
+    /// BSP: next segment to compute (0..L).
+    seg: usize,
+    computing: bool,
+    done: bool,
+    /// BSP: parameter version available per chunk (segment `l` of
+    /// iteration `i` requires `chunk_version[l] >= i`).
+    chunk_version: Vec<u64>,
+    /// Cumulative compute-busy seconds.
+    compute_busy: f64,
+    /// Compute time spent on the current iteration (folded into the
+    /// per-iteration maximum when the iteration's compute finishes).
+    cur_iter_comp: f64,
+    jitter: Jitter,
+    // --- ASP cycle bookkeeping ---
+    pending_applies: usize,
+    pending_pulls: usize,
+    /// Global commit count last observed (at pull completion).
+    v_seen: u64,
+    cycle_start: f64,
+    compute_end: f64,
+}
+
+struct Engine<'a> {
+    w: &'a Workload,
+    cluster: &'a ClusterSpec,
+    cfg: &'a SimConfig,
+    sync: SyncMode,
+    n: usize,
+    n_ps: usize,
+    target: u64,
+    /// Detailed-simulation horizon (min(target, warmup+measure)).
+    horizon: u64,
+    warmup: u64,
+
+    chunk_mb: Vec<f64>,
+    chunk_ps: Vec<usize>,
+
+    queue: EventQueue<SegDone>,
+    fluid: FluidSystem,
+    wk_nic: Vec<ResourceId>,
+    ps_nic: Vec<ResourceId>,
+    ps_cpu: Vec<ResourceId>,
+
+    workers: Vec<WorkerState>,
+
+    // BSP progress
+    applied: HashMap<u64, Vec<u32>>,
+    iterations_done: u64,
+    last_completion: f64,
+    warmup_time: f64,
+
+    // ASP progress
+    commits: u64,
+    started: u64,
+
+    // samples over the measured window
+    iter_samples: Vec<f64>,
+    comp_samples: Vec<f64>,
+    comm_samples: Vec<f64>,
+    staleness_samples: Vec<f64>,
+
+    // per-iteration accounting
+    comp_per_iter: HashMap<u64, f64>,
+    comm_active: HashMap<u64, u32>,
+    comm_accum: HashMap<u64, f64>,
+
+    // resource metrics
+    ps_cpu_busy: Vec<f64>,
+    ps_nic_rec: Vec<ThroughputRecorder>,
+
+    // loss generation
+    loss_rng: Jitter,
+    loss_stride: u64,
+    loss_curve: Vec<(u64, f64)>,
+
+    done_time: Option<f64>,
+    total_time: f64,
+    extrapolated: bool,
+
+    // optional execution tracing
+    trace: Option<TraceRecorder>,
+    flow_starts: HashMap<u64, f64>,
+
+    // running SSP staleness accumulator (drives the convergence penalty)
+    ssp_stale_sum: f64,
+    ssp_stale_count: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(job: &'a TrainJob<'a>) -> Self {
+        let w = job.workload;
+        let cluster = &job.cluster;
+        let cfg = &job.config;
+        let n = cluster.workers.len();
+        let n_ps = cluster.ps.len();
+        assert!(n > 0 && n_ps > 0, "degenerate cluster");
+
+        // Parameter shards: equal split (real PS implementations shard
+        // large tensors across servers). Multi-PS clusters get at least
+        // four shards per server so each PS's apply pipeline stays fed
+        // across the BSP barrier (with one coarse shard per PS, servers
+        // drain and idle between gradient waves — an artifact real
+        // fine-grained sharding does not have; eight shards per PS keeps
+        // multi-PS utilization at the fluid limit).
+        let l = cfg.chunks.max(n_ps * 8).clamp(1, 32);
+        let total_mb = w.param_mb();
+        assert!(total_mb > 0.0, "model has no parameters to synchronize");
+        let chunk_mb = vec![total_mb / l as f64; l];
+        let chunk_ps: Vec<usize> = (0..l).map(|c| c % n_ps).collect();
+
+        let mut fluid = FluidSystem::new();
+        let wk_nic: Vec<ResourceId> = cluster
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(j, t)| fluid.add_resource(t.nic_mbps, format!("wk{j}-nic")))
+            .collect();
+        assert!(
+            (0.0..1.0).contains(&cfg.nic_interference),
+            "nic_interference must be in [0, 1)"
+        );
+        let nic_scale = 1.0 - cfg.nic_interference;
+        let ps_nic: Vec<ResourceId> = cluster
+            .ps
+            .iter()
+            .enumerate()
+            .map(|(k, t)| fluid.add_resource(t.nic_mbps * nic_scale, format!("ps{k}-nic")))
+            .collect();
+        let ps_cpu: Vec<ResourceId> = cluster
+            .ps
+            .iter()
+            .enumerate()
+            .map(|(k, t)| fluid.add_resource(t.node_gflops, format!("ps{k}-cpu")))
+            .collect();
+
+        let workers = (0..n)
+            .map(|j| WorkerState {
+                iter: 0,
+                seg: 0,
+                computing: false,
+                done: false,
+                chunk_version: vec![0; l],
+                compute_busy: 0.0,
+                cur_iter_comp: 0.0,
+                jitter: Jitter::new(cfg.seed, "worker-compute", j as u64, cfg.jitter_cv),
+                pending_applies: 0,
+                pending_pulls: 0,
+                v_seen: 0,
+                cycle_start: 0.0,
+                compute_end: 0.0,
+            })
+            .collect();
+
+        let target = w.iterations;
+        let (horizon, warmup) = match cfg.fast_forward {
+            Some(ff) if ff.horizon() < target => (ff.horizon(), ff.warmup),
+            _ => (target, 0),
+        };
+
+        Engine {
+            w,
+            cluster,
+            cfg,
+            sync: w.sync,
+            n,
+            n_ps,
+            target,
+            horizon,
+            warmup,
+            chunk_mb,
+            chunk_ps,
+            queue: EventQueue::new(),
+            fluid,
+            wk_nic,
+            ps_nic,
+            ps_cpu,
+            workers,
+            applied: HashMap::new(),
+            iterations_done: 0,
+            last_completion: 0.0,
+            warmup_time: 0.0,
+            commits: 0,
+            started: 0,
+            iter_samples: Vec::new(),
+            comp_samples: Vec::new(),
+            comm_samples: Vec::new(),
+            staleness_samples: Vec::new(),
+            comp_per_iter: HashMap::new(),
+            comm_active: HashMap::new(),
+            comm_accum: HashMap::new(),
+            ps_cpu_busy: vec![0.0; n_ps],
+            ps_nic_rec: vec![ThroughputRecorder::new(); n_ps],
+            loss_rng: Jitter::new(cfg.seed, "loss-noise", n as u64, w.convergence.noise_sd),
+            loss_stride: (target / cfg.loss_samples.max(1) as u64).max(1),
+            loss_curve: Vec::new(),
+            done_time: None,
+            total_time: 0.0,
+            extrapolated: false,
+            trace: None,
+            flow_starts: HashMap::new(),
+            ssp_stale_sum: 0.0,
+            ssp_stale_count: 0,
+        }
+    }
+
+    /// Starts a flow, recording its start time when tracing is enabled.
+    fn launch_flow(&mut self, links: Vec<ResourceId>, volume: f64, t: u64) {
+        if self.trace.is_some() {
+            self.flow_starts.insert(t, self.queue.now());
+        }
+        self.fluid.start_flow(FlowSpec::new(links, volume, t));
+    }
+
+    /// Records a completed flow span when tracing is enabled.
+    fn trace_flow_done(&mut self, t: u64) {
+        let Some(trace) = self.trace.as_mut() else {
+            return;
+        };
+        let Some(start) = self.flow_starts.remove(&t) else {
+            return;
+        };
+        let (kind, j, l, iter) = untag(t);
+        let (lane, activity) = match kind {
+            KIND_PUSH => (format!("worker-{j}"), Activity::Push),
+            KIND_APPLY => (format!("ps-{}", self.chunk_ps[l]), Activity::Apply),
+            _ => (format!("worker-{j}"), Activity::Pull),
+        };
+        trace.record(lane, activity, iter, start, self.queue.now());
+    }
+
+    /// Records a compute span when tracing is enabled.
+    fn trace_compute(&mut self, j: usize, iter: u64, start: f64, end: f64) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(format!("worker-{j}"), Activity::Compute, iter, start, end);
+        }
+    }
+
+    /// Per-iteration compute work for one worker, GFLOP (Eq. 4's numerator
+    /// split: BSP divides the global batch across workers, ASP computes a
+    /// full batch per worker-iteration).
+    fn compute_gflops_per_worker(&self) -> f64 {
+        match self.sync {
+            SyncMode::Bsp => self.w.w_iter_gflops / self.n as f64,
+            SyncMode::Asp => self.w.w_iter_gflops,
+        }
+    }
+
+    fn worker_rate(&self, j: usize) -> f64 {
+        self.cluster.workers[j].core_gflops
+    }
+
+    // ------------------------------------------------------------------
+    // Driving loop
+
+    fn run(mut self) -> (TrainingReport, Option<TraceRecorder>) {
+        match self.sync {
+            SyncMode::Bsp => {
+                for j in 0..self.n {
+                    self.try_start_segment(j);
+                }
+            }
+            SyncMode::Asp => {
+                for j in 0..self.n {
+                    if self.started < self.target {
+                        self.started += 1;
+                        // Stagger first cycles across the compute period:
+                        // real ASP workers desynchronize immediately (data
+                        // loading, pod startup); without this, zero-jitter
+                        // runs stay phase-locked and serialize all pushes —
+                        // an artifact no real cluster exhibits.
+                        let base =
+                            self.compute_gflops_per_worker() / self.worker_rate(j);
+                        let stagger = base * j as f64 / self.n as f64;
+                        self.start_asp_compute(j, stagger);
+                    } else {
+                        self.workers[j].done = true;
+                    }
+                }
+            }
+        }
+
+        let mut guard: u64 = 0;
+        while self.done_time.is_none() {
+            guard += 1;
+            assert!(
+                guard < 500_000_000,
+                "simulation exceeded event budget (suspected livelock)"
+            );
+            let now = self.queue.now();
+            let tq = self.queue.peek_time();
+            let fc = self.fluid.next_completion();
+            match (tq, fc) {
+                (None, None) => panic!(
+                    "simulation stalled at t={now}: {} iterations of {} done",
+                    self.progress(),
+                    self.target
+                ),
+                (Some(tq), fc) => {
+                    let fluid_first = match fc {
+                        Some((_, dt)) => now + dt < tq - cynthia_sim::EPS,
+                        None => false,
+                    };
+                    if fluid_first {
+                        let dt = fc.unwrap().1;
+                        self.step_fluid(dt);
+                    } else {
+                        let dt = tq - now;
+                        self.accrue(dt);
+                        let done = self.fluid.advance(dt);
+                        self.queue.advance_to(tq);
+                        for (_, t) in done {
+                            self.on_flow_done(t);
+                        }
+                        let (_, ev) = self.queue.pop().expect("peeked event vanished");
+                        self.on_seg_done(ev.worker);
+                    }
+                }
+                (None, Some((_, dt))) => {
+                    self.step_fluid(dt);
+                }
+            }
+        }
+        let trace = self.trace.take();
+        (self.finish(), trace)
+    }
+
+    fn progress(&self) -> u64 {
+        match self.sync {
+            SyncMode::Bsp => self.iterations_done,
+            SyncMode::Asp => self.commits,
+        }
+    }
+
+    fn step_fluid(&mut self, dt: f64) {
+        self.accrue(dt);
+        let now = self.queue.now();
+        let done = self.fluid.advance(dt);
+        self.queue.advance_to(now + dt);
+        for (_, t) in done {
+            self.on_flow_done(t);
+        }
+    }
+
+    /// Integrates resource metrics and communication-union accounting over
+    /// a `dt` slice with constant rates.
+    fn accrue(&mut self, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        let t_end = self.queue.now() + dt;
+        for k in 0..self.n_ps {
+            let cap = self.fluid.capacity(self.ps_cpu[k]);
+            let cpu_rate = self.fluid.total_rate_on(self.ps_cpu[k]);
+            if cap > 0.0 {
+                self.ps_cpu_busy[k] += (cpu_rate / cap).min(1.0) * dt;
+            }
+            let nic_rate = self.fluid.total_rate_on(self.ps_nic[k]);
+            if nic_rate > 0.0 {
+                self.ps_nic_rec[k].record_interval(t_end, dt, nic_rate * dt);
+            }
+        }
+        for (iter, count) in self.comm_active.iter() {
+            if *count > 0 {
+                *self.comm_accum.entry(*iter).or_insert(0.0) += dt;
+            }
+        }
+    }
+
+    fn comm_begin(&mut self, iter: u64) {
+        *self.comm_active.entry(iter).or_insert(0) += 1;
+    }
+
+    fn comm_end(&mut self, iter: u64) {
+        let c = self
+            .comm_active
+            .get_mut(&iter)
+            .expect("comm_end without begin");
+        *c -= 1;
+        if *c == 0 {
+            self.comm_active.remove(&iter);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // BSP mechanics
+
+    fn try_start_segment(&mut self, j: usize) {
+        let l = self.workers[j].seg;
+        let needed_version = self.workers[j].iter;
+        if self.workers[j].done
+            || self.workers[j].computing
+            || needed_version >= self.horizon && self.sync == SyncMode::Bsp && l == 0
+        {
+            // A worker whose next iteration lies beyond the detailed
+            // horizon idles; extrapolation covers the rest.
+            if needed_version >= self.horizon && l == 0 {
+                self.workers[j].done = true;
+            }
+            return;
+        }
+        let slack = self.cfg.ssp_slack as u64;
+        if self.workers[j].chunk_version[l] + slack < needed_version {
+            return; // blocked on a pull (strict barrier when slack = 0)
+        }
+        if slack > 0 && l == 0 {
+            // Parameter staleness this iteration computes against
+            // (bounded by the slack; strict BSP does not record).
+            let stale = needed_version.saturating_sub(self.workers[j].chunk_version[0]);
+            self.ssp_stale_sum += stale as f64;
+            self.ssp_stale_count += 1;
+            if self.progress() >= self.warmup {
+                self.staleness_samples.push(stale as f64);
+            }
+        }
+        let chunks = self.chunk_mb.len() as f64;
+        let base = self.compute_gflops_per_worker() / self.worker_rate(j) / chunks;
+        let dur = self.workers[j].jitter.perturb(base).max(1e-12);
+        self.workers[j].computing = true;
+        self.workers[j].compute_busy += dur;
+        self.workers[j].cur_iter_comp += dur;
+        let now = self.queue.now();
+        self.trace_compute(j, needed_version, now, now + dur);
+        self.queue.schedule_after(dur, SegDone { worker: j });
+    }
+
+    fn on_seg_done(&mut self, j: usize) {
+        match self.sync {
+            SyncMode::Bsp => self.on_bsp_seg_done(j),
+            SyncMode::Asp => self.on_asp_compute_done(j),
+        }
+    }
+
+    fn on_bsp_seg_done(&mut self, j: usize) {
+        let (iter, l) = {
+            let w = &mut self.workers[j];
+            w.computing = false;
+            let out = (w.iter, w.seg);
+            w.seg += 1;
+            if w.seg == self.chunk_mb.len() {
+                // Iteration's compute finished: fold the per-iteration
+                // compute sample (slowest worker wins).
+                let comp = w.cur_iter_comp;
+                w.cur_iter_comp = 0.0;
+                w.seg = 0;
+                w.iter += 1;
+                let e = self.comp_per_iter.entry(out.0).or_insert(0.0);
+                *e = e.max(comp);
+            }
+            out
+        };
+        // Push this chunk's gradient.
+        self.comm_begin(iter);
+        let k = self.chunk_ps[l];
+        self.launch_flow(
+            vec![self.wk_nic[j], self.ps_nic[k]],
+            self.chunk_mb[l],
+            tag(KIND_PUSH, j, l, iter),
+        );
+        self.try_start_segment(j);
+    }
+
+    fn on_flow_done(&mut self, t: u64) {
+        self.trace_flow_done(t);
+        let (kind, j, l, iter) = untag(t);
+        match (self.sync, kind) {
+            (SyncMode::Bsp, KIND_PUSH) => {
+                // Gradient arrived: PS ingests/applies it (CPU work).
+                let k = self.chunk_ps[l];
+                let work = self.w.ps_apply_gflops_per_mb * self.chunk_mb[l];
+                self.launch_flow(
+                    vec![self.ps_cpu[k]],
+                    work,
+                    tag(KIND_APPLY, j, l, iter),
+                );
+            }
+            (SyncMode::Bsp, KIND_APPLY) => {
+                self.comm_end(iter);
+                let l_total = self.chunk_mb.len();
+                let counts = self
+                    .applied
+                    .entry(iter)
+                    .or_insert_with(|| vec![0; l_total]);
+                counts[l] += 1;
+                let chunk_complete = counts[l] as usize == self.n;
+                let iter_complete =
+                    chunk_complete && counts.iter().all(|c| *c as usize == self.n);
+                if chunk_complete {
+                    // Broadcast parameter version iter+1, chunk l.
+                    for dst in 0..self.n {
+                        self.comm_begin(iter);
+                        let k = self.chunk_ps[l];
+                        self.launch_flow(
+                            vec![self.ps_nic[k], self.wk_nic[dst]],
+                            self.chunk_mb[l],
+                            tag(KIND_PULL, dst, l, iter),
+                        );
+                    }
+                }
+                if iter_complete {
+                    self.applied.remove(&iter);
+                    self.on_bsp_iteration_complete(iter);
+                }
+            }
+            (SyncMode::Bsp, KIND_PULL) => {
+                self.comm_end(iter);
+                self.workers[j].chunk_version[l] = iter + 1;
+                self.try_start_segment(j);
+            }
+            (SyncMode::Asp, KIND_PUSH) => {
+                let k = self.chunk_ps[l];
+                let work = self.w.ps_apply_gflops_per_mb * self.chunk_mb[l];
+                self.launch_flow(
+                    vec![self.ps_cpu[k]],
+                    work,
+                    tag(KIND_APPLY, j, l, iter),
+                );
+            }
+            (SyncMode::Asp, KIND_APPLY) => {
+                self.workers[j].pending_applies -= 1;
+                if self.workers[j].pending_applies == 0 {
+                    self.on_asp_commit(j);
+                }
+            }
+            (SyncMode::Asp, KIND_PULL) => {
+                self.workers[j].pending_pulls -= 1;
+                if self.workers[j].pending_pulls == 0 {
+                    self.on_asp_pulled(j);
+                }
+            }
+            _ => unreachable!("unknown flow kind {kind}"),
+        }
+    }
+
+    fn on_bsp_iteration_complete(&mut self, iter: u64) {
+        let now = self.queue.now();
+        debug_assert_eq!(iter, self.iterations_done, "iterations complete in order");
+        self.iterations_done += 1;
+        let s = self.iterations_done;
+
+        if s == self.warmup {
+            self.warmup_time = now;
+        }
+        if s > self.warmup {
+            self.iter_samples.push(now - self.last_completion);
+            if let Some(c) = self.comp_per_iter.remove(&iter) {
+                self.comp_samples.push(c);
+            }
+            if let Some(c) = self.comm_accum.remove(&iter) {
+                self.comm_samples.push(c);
+            }
+        } else {
+            self.comp_per_iter.remove(&iter);
+            self.comm_accum.remove(&iter);
+        }
+        self.last_completion = now;
+        self.record_loss(s);
+
+        if s >= self.horizon {
+            if self.horizon < self.target {
+                let measured = (now - self.warmup_time) / (self.horizon - self.warmup) as f64;
+                self.total_time = now + (self.target - self.horizon) as f64 * measured;
+                self.extrapolated = true;
+                self.fill_extrapolated_loss();
+            } else {
+                self.total_time = now;
+            }
+            self.done_time = Some(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ASP mechanics
+
+    /// Begins an ASP compute cycle after `extra_delay` seconds (used only
+    /// to stagger initial cycles; the delay does not count as busy time).
+    fn start_asp_compute(&mut self, j: usize, extra_delay: f64) {
+        let base = self.compute_gflops_per_worker() / self.worker_rate(j);
+        let dur = self.workers[j].jitter.perturb(base).max(1e-12);
+        let now = self.queue.now();
+        let iter = self.workers[j].iter;
+        let w = &mut self.workers[j];
+        w.computing = true;
+        w.cycle_start = now + extra_delay;
+        w.compute_busy += dur;
+        w.cur_iter_comp = dur;
+        self.trace_compute(j, iter, now + extra_delay, now + extra_delay + dur);
+        self.queue
+            .schedule_after(extra_delay + dur, SegDone { worker: j });
+    }
+
+    fn on_asp_compute_done(&mut self, j: usize) {
+        let now = self.queue.now();
+        let uid = self.asp_uid(j);
+        {
+            let w = &mut self.workers[j];
+            w.computing = false;
+            w.compute_end = now;
+            w.pending_applies = self.chunk_mb.len();
+        }
+        for l in 0..self.chunk_mb.len() {
+            let k = self.chunk_ps[l];
+            self.launch_flow(
+                vec![self.wk_nic[j], self.ps_nic[k]],
+                self.chunk_mb[l],
+                tag(KIND_PUSH, j, l, uid),
+            );
+        }
+    }
+
+    fn asp_uid(&self, j: usize) -> u64 {
+        ((j as u64) << 26) | (self.workers[j].iter & 0x3ff_ffff)
+    }
+
+    fn on_asp_commit(&mut self, j: usize) {
+        let now = self.queue.now();
+        let staleness = (self.commits - self.workers[j].v_seen) as f64;
+        self.commits += 1;
+        let s = self.commits;
+
+        if s == self.warmup {
+            self.warmup_time = now;
+        }
+        if s > self.warmup {
+            let w = &self.workers[j];
+            self.staleness_samples.push(staleness);
+            self.comp_samples.push(w.cur_iter_comp);
+            // Communication so far: push + apply (pull adds later; ASP's
+            // cycle time sample uses commit-to-commit cadence instead).
+            self.comm_samples.push(now - w.compute_end);
+            self.iter_samples.push(now - w.cycle_start);
+        }
+        self.record_loss(s);
+
+        if s >= self.horizon {
+            if self.horizon < self.target {
+                let rate = (self.horizon - self.warmup) as f64 / (now - self.warmup_time);
+                self.total_time = now + (self.target - self.horizon) as f64 / rate;
+                self.extrapolated = true;
+                self.fill_extrapolated_loss();
+            } else {
+                self.total_time = now;
+            }
+            self.done_time = Some(now);
+            return;
+        }
+
+        // Refresh local parameters.
+        let uid = self.asp_uid(j);
+        self.workers[j].pending_pulls = self.chunk_mb.len();
+        for l in 0..self.chunk_mb.len() {
+            let k = self.chunk_ps[l];
+            self.launch_flow(
+                vec![self.ps_nic[k], self.wk_nic[j]],
+                self.chunk_mb[l],
+                tag(KIND_PULL, j, l, uid),
+            );
+        }
+    }
+
+    fn on_asp_pulled(&mut self, j: usize) {
+        self.workers[j].v_seen = self.commits;
+        self.workers[j].iter += 1;
+        if self.started < self.target {
+            self.started += 1;
+            self.start_asp_compute(j, 0.0);
+        } else {
+            self.workers[j].done = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Loss generation
+
+    fn record_loss(&mut self, s: u64) {
+        if s.is_multiple_of(self.loss_stride) || s == self.target || s == 1 {
+            let loss = self.noisy_loss(s);
+            self.loss_curve.push((s, loss));
+        }
+    }
+
+    fn noisy_loss(&mut self, s: u64) -> f64 {
+        let conv = &self.w.convergence;
+        let expected = if self.sync == SyncMode::Bsp && self.cfg.ssp_slack > 0 && s > 0 {
+            // Bounded staleness degrades convergence like √(1+τ̄) on the
+            // *realized* mean staleness (the bound itself is rarely hit —
+            // same reasoning as Eq. (1)'s ASP factor).
+            let tau = if self.ssp_stale_count > 0 {
+                self.ssp_stale_sum / self.ssp_stale_count as f64
+            } else {
+                0.0
+            };
+            (conv.beta0 * (1.0 + tau).sqrt() / s as f64 + conv.beta1).min(conv.initial_loss)
+        } else {
+            conv.expected_loss(self.sync, s, self.n as u32)
+        };
+        let floor = conv.beta1;
+        floor + (expected - floor).max(0.0) * self.loss_rng.factor()
+    }
+
+    fn fill_extrapolated_loss(&mut self) {
+        let mut s = self.progress();
+        loop {
+            s = (s + self.loss_stride).min(self.target);
+            let loss = self.noisy_loss(s);
+            self.loss_curve.push((s, loss));
+            if s == self.target {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn finish(self) -> TrainingReport {
+        let sim_time = self.done_time.expect("finish called before completion");
+        let sim_time = sim_time.max(1e-12);
+        let final_loss = self
+            .loss_curve
+            .last()
+            .map(|(_, l)| *l)
+            .unwrap_or(self.w.convergence.initial_loss);
+        let worker_cpu_util: Vec<f64> = self
+            .workers
+            .iter()
+            .map(|w| (w.compute_busy / sim_time).min(1.0))
+            .collect();
+        let ps_cpu_util: Vec<f64> = self
+            .ps_cpu_busy
+            .iter()
+            .map(|b| (b / sim_time).min(1.0))
+            .collect();
+        let ps_nic_mean_mbps: Vec<f64> = self
+            .ps_nic_rec
+            .iter()
+            .map(|r| r.mean_rate(sim_time))
+            .collect();
+        let window = self.cfg.throughput_window;
+        let ps_nic_series: Vec<Vec<(f64, f64)>> = self
+            .ps_nic_rec
+            .iter()
+            .map(|r| r.series(window, sim_time))
+            .collect();
+
+        let comp_time = Stats::of(&self.comp_samples);
+        let comm_time = Stats::of(&self.comm_samples);
+        let per_iter_scale = match self.sync {
+            SyncMode::Bsp => self.target as f64,
+            // ASP cycles run n-wide in parallel; per-update wall share.
+            SyncMode::Asp => self.target as f64 / self.n as f64,
+        };
+
+        TrainingReport {
+            workload: self.w.id(),
+            sync: self.sync,
+            n_workers: self.n as u32,
+            n_ps: self.n_ps as u32,
+            iterations: self.target,
+            total_time: self.total_time,
+            simulated_iterations: self.progress(),
+            simulated_time: sim_time,
+            extrapolated: self.extrapolated,
+            iter_time: Stats::of(&self.iter_samples),
+            comp_time,
+            comm_time,
+            total_comp_time: comp_time.mean * per_iter_scale,
+            total_comm_time: comm_time.mean * per_iter_scale,
+            worker_cpu_util,
+            ps_cpu_util,
+            ps_nic_mean_mbps,
+            ps_nic_series,
+            loss_curve: self.loss_curve,
+            final_loss,
+            staleness: Stats::of(&self.staleness_samples),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cynthia_cloud::default_catalog;
+
+    fn m4_cluster(n_workers: u32, n_ps: u32) -> ClusterSpec {
+        let cat = default_catalog();
+        ClusterSpec::homogeneous(cat.expect("m4.xlarge"), n_workers, n_ps)
+    }
+
+    fn run(workload: &Workload, cluster: ClusterSpec, cfg: SimConfig) -> TrainingReport {
+        simulate(&TrainJob {
+            workload,
+            cluster,
+            config: cfg,
+        })
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let t = tag(KIND_PULL, 1234, 200, 0xdead_beef);
+        assert_eq!(untag(t), (KIND_PULL, 1234, 200, 0xdead_beef));
+    }
+
+    #[test]
+    fn single_worker_bsp_is_compute_bound() {
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 200;
+        let r = run(&w, m4_cluster(1, 1), SimConfig::deterministic(1));
+        // t_base = 0.0356/0.9 ≈ 0.0396 s; communication hides under compute.
+        let expect = 200.0 * (0.0356 / 0.9);
+        assert!(
+            (r.total_time - expect).abs() / expect < 0.15,
+            "total {} vs expected ≈{expect}",
+            r.total_time
+        );
+        assert!(r.worker_cpu_util[0] > 0.85, "worker should be busy");
+        assert!(!r.extrapolated);
+        assert_eq!(r.simulated_iterations, 200);
+    }
+
+    #[test]
+    fn bsp_scales_then_degrades_like_fig1b() {
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 300;
+        let cfg = SimConfig::deterministic(7);
+        let t: Vec<f64> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|n| run(&w, m4_cluster(*n, 1), cfg).total_time)
+            .collect();
+        assert!(t[1] < t[0], "2 workers should beat 1: {t:?}");
+        // The U-shape: 8 workers slower than the best point.
+        let best = t.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(t[3] > best * 1.3, "8 workers should sit past the knee: {t:?}");
+    }
+
+    #[test]
+    fn ps_saturates_under_bsp_scaleout_like_table2() {
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 300;
+        let cfg = SimConfig::deterministic(3);
+        let r1 = run(&w, m4_cluster(1, 1), cfg);
+        let r8 = run(&w, m4_cluster(8, 1), cfg);
+        assert!(
+            r1.ps_cpu_util[0] < 0.5,
+            "PS lightly loaded with 1 worker: {}",
+            r1.ps_cpu_util[0]
+        );
+        assert!(
+            r8.ps_cpu_util[0] > 0.9,
+            "PS saturated with 8 workers: {}",
+            r8.ps_cpu_util[0]
+        );
+        assert!(
+            r8.worker_cpu_util[0] < 0.5,
+            "workers throttled at 8: {}",
+            r8.worker_cpu_util[0]
+        );
+    }
+
+    #[test]
+    fn asp_time_improves_with_workers() {
+        let mut w = Workload::resnet32_asp();
+        w.iterations = 60;
+        let cfg = SimConfig::deterministic(5);
+        let t4 = run(&w, m4_cluster(4, 1), cfg).total_time;
+        let t9 = run(&w, m4_cluster(9, 1), cfg).total_time;
+        assert!(
+            t9 < t4 * 0.65,
+            "ResNet-32 ASP should keep scaling: t4={t4} t9={t9}"
+        );
+    }
+
+    #[test]
+    fn asp_records_staleness_and_bsp_does_not() {
+        let mut w = Workload::resnet32_asp();
+        w.iterations = 80;
+        let r = run(&w, m4_cluster(4, 1), SimConfig::deterministic(2));
+        assert!(r.staleness.n > 0);
+        assert!(
+            r.staleness.mean > 1.0,
+            "4 ASP workers should miss updates: {}",
+            r.staleness.mean
+        );
+
+        let mut b = Workload::mnist_bsp();
+        b.iterations = 50;
+        let rb = run(&b, m4_cluster(4, 1), SimConfig::deterministic(2));
+        assert_eq!(rb.staleness.n, 0);
+    }
+
+    #[test]
+    fn stragglers_slow_bsp_down() {
+        let cat = default_catalog();
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 200;
+        let cfg = SimConfig::deterministic(4);
+        let homo = run(&w, m4_cluster(2, 1), cfg).total_time;
+        let hetero = run(
+            &w,
+            ClusterSpec::heterogeneous(cat.expect("m4.xlarge"), cat.expect("m1.xlarge"), 2, 1),
+            cfg,
+        )
+        .total_time;
+        assert!(
+            hetero > homo * 1.4,
+            "straggler should pace the barrier: homo={homo} hetero={hetero}"
+        );
+    }
+
+    #[test]
+    fn more_ps_relieves_the_bottleneck() {
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 300;
+        let cfg = SimConfig::deterministic(6);
+        let t1 = run(&w, m4_cluster(8, 1), cfg).total_time;
+        let t4 = run(&w, m4_cluster(8, 4), cfg).total_time;
+        assert!(
+            t4 < t1 * 0.6,
+            "4 PS nodes should relieve the mnist bottleneck: 1ps={t1} 4ps={t4}"
+        );
+    }
+
+    #[test]
+    fn loss_curve_is_monotone_decreasing_in_trend() {
+        let mut w = Workload::cifar10_bsp();
+        w.iterations = 2000;
+        let r = run(&w, m4_cluster(4, 1), SimConfig::fast(9));
+        assert!(r.loss_curve.len() > 10);
+        let first = r.loss_curve.first().unwrap().1;
+        let last = r.loss_curve.last().unwrap().1;
+        assert!(last < first * 0.5, "loss should drop: {first} -> {last}");
+        assert_eq!(r.loss_curve.last().unwrap().0, 2000);
+    }
+
+    #[test]
+    fn fast_forward_matches_exact_run_within_tolerance() {
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 400;
+        let exact = run(&w, m4_cluster(4, 1), SimConfig::deterministic(11));
+        let mut fast_cfg = SimConfig::deterministic(11);
+        fast_cfg.fast_forward = Some(crate::config::FastForward {
+            warmup: 20,
+            measure: 80,
+        });
+        let fast = run(&w, m4_cluster(4, 1), fast_cfg);
+        assert!(fast.extrapolated);
+        assert!(fast.simulated_iterations < 400);
+        let err = (fast.total_time - exact.total_time).abs() / exact.total_time;
+        assert!(err < 0.05, "extrapolation error {err}: {} vs {}", fast.total_time, exact.total_time);
+    }
+
+    #[test]
+    fn deterministic_runs_are_identical() {
+        let mut w = Workload::vgg19_asp();
+        w.iterations = 40;
+        let a = run(&w, m4_cluster(3, 1), SimConfig::exact(21));
+        let b = run(&w, m4_cluster(3, 1), SimConfig::exact(21));
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.loss_curve, b.loss_curve);
+        assert_eq!(a.ps_cpu_util, b.ps_cpu_util);
+    }
+
+    #[test]
+    fn vgg_asp_saturates_ps_nic_like_fig7() {
+        let mut w = Workload::vgg19_asp();
+        w.iterations = 150;
+        let cfg = SimConfig::deterministic(13);
+        let r4 = run(&w, m4_cluster(4, 1), cfg);
+        let r9 = run(&w, m4_cluster(9, 1), cfg);
+        let nic = 118.0;
+        assert!(
+            r4.total_ps_nic_mbps() < 0.7 * nic,
+            "4 workers should not saturate: {}",
+            r4.total_ps_nic_mbps()
+        );
+        assert!(
+            r9.total_ps_nic_mbps() > 0.75 * nic,
+            "9 workers should approach saturation: {}",
+            r9.total_ps_nic_mbps()
+        );
+        // And the peak (bucketed) rate should actually touch the capacity.
+        let peak = r9.ps_nic_series[0]
+            .iter()
+            .map(|(_, r)| *r)
+            .fold(0.0f64, f64::max);
+        assert!(peak > 0.9 * nic, "peak should reach the NIC cap: {peak}");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_accounts_busy_time() {
+        use crate::trace::Activity;
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 60;
+        let job = TrainJob {
+            workload: &w,
+            cluster: m4_cluster(2, 1),
+            config: SimConfig::deterministic(8),
+        };
+        let plain = simulate(&job);
+        let (traced, trace) = simulate_traced(&job, 1_000_000);
+        assert_eq!(plain.total_time, traced.total_time, "tracing must not perturb");
+        // The traced compute time matches the report's busy accounting.
+        let busy0 = trace.busy_time("worker-0", Activity::Compute);
+        let expect0 = traced.worker_cpu_util[0] * traced.simulated_time;
+        assert!(
+            (busy0 - expect0).abs() / expect0 < 0.02,
+            "trace busy {busy0} vs report {expect0}"
+        );
+        // All four activity kinds appear, and the export is parseable.
+        for act in [Activity::Compute, Activity::Push, Activity::Apply, Activity::Pull] {
+            assert!(
+                trace.spans().iter().any(|sp| sp.activity == act),
+                "{act:?} missing from trace"
+            );
+        }
+        let json = trace.to_chrome_trace();
+        assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn comm_grows_and_comp_shrinks_with_workers_bsp() {
+        let mut w = Workload::cifar10_bsp();
+        w.iterations = 60;
+        let cfg = SimConfig::deterministic(17);
+        let r9 = run(&w, m4_cluster(9, 1), cfg);
+        let r17 = run(&w, m4_cluster(17, 1), cfg);
+        assert!(r17.comp_time.mean < r9.comp_time.mean);
+        assert!(r17.comm_time.mean > r9.comm_time.mean);
+    }
+}

@@ -1,0 +1,200 @@
+//! Execution tracing: records worker/PS activity intervals during a
+//! simulated run and exports them in the Chrome trace-event format
+//! (`chrome://tracing`, Perfetto), so a training timeline can be inspected
+//! visually — compute segments, pushes, applies, pulls, and barrier
+//! stalls.
+
+use serde::Serialize;
+
+/// Activity categories, matching the simulator's phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Activity {
+    Compute,
+    Push,
+    Apply,
+    Pull,
+}
+
+impl Activity {
+    fn name(&self) -> &'static str {
+        match self {
+            Activity::Compute => "compute",
+            Activity::Push => "push",
+            Activity::Apply => "apply",
+            Activity::Pull => "pull",
+        }
+    }
+}
+
+/// One recorded interval on a lane (a worker or a PS node).
+#[derive(Debug, Clone, Serialize)]
+pub struct Span {
+    /// Lane name, e.g. `"worker-3"` or `"ps-0"`.
+    pub lane: String,
+    pub activity: Activity,
+    /// Iteration / update the work belonged to.
+    pub iteration: u64,
+    pub start: f64,
+    pub end: f64,
+}
+
+/// A bounded trace recorder. Recording stops silently after `capacity`
+/// spans so long simulations cannot exhaust memory.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    spans: Vec<Span>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// A recorder holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        TraceRecorder {
+            spans: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one interval.
+    pub fn record(&mut self, lane: String, activity: Activity, iteration: u64, start: f64, end: f64) {
+        debug_assert!(end >= start, "span ends before it starts");
+        if self.spans.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.spans.push(Span {
+            lane,
+            activity,
+            iteration,
+            start,
+            end,
+        });
+    }
+
+    /// Recorded spans.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans that did not fit in `capacity`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total busy time per `(lane, activity)` pair, useful for asserting
+    /// accounting in tests.
+    pub fn busy_time(&self, lane: &str, activity: Activity) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.lane == lane && s.activity == activity)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Exports the Chrome trace-event JSON (`traceEvents` array of
+    /// complete events, microsecond timestamps). Load in
+    /// `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        #[derive(Serialize)]
+        struct Event<'a> {
+            name: &'a str,
+            cat: &'a str,
+            ph: &'a str,
+            ts: u64,
+            dur: u64,
+            pid: u32,
+            tid: u32,
+            args: Args,
+        }
+        #[derive(Serialize)]
+        struct Args {
+            iteration: u64,
+        }
+        // Stable lane -> tid mapping in first-seen order.
+        let mut lanes: Vec<&str> = Vec::new();
+        let mut events = Vec::with_capacity(self.spans.len());
+        for s in &self.spans {
+            let tid = match lanes.iter().position(|l| *l == s.lane) {
+                Some(i) => i,
+                None => {
+                    lanes.push(&s.lane);
+                    lanes.len() - 1
+                }
+            } as u32;
+            events.push(Event {
+                name: s.activity.name(),
+                cat: s.activity.name(),
+                ph: "X",
+                ts: (s.start * 1e6) as u64,
+                dur: ((s.end - s.start) * 1e6).max(1.0) as u64,
+                pid: 1,
+                tid,
+                args: Args {
+                    iteration: s.iteration,
+                },
+            });
+        }
+        #[derive(Serialize)]
+        struct Root<'a> {
+            #[serde(rename = "traceEvents")]
+            trace_events: Vec<Event<'a>>,
+            #[serde(rename = "displayTimeUnit")]
+            display_time_unit: &'a str,
+        }
+        serde_json::to_string(&Root {
+            trace_events: events,
+            display_time_unit: "ms",
+        })
+        .expect("trace serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceRecorder {
+        let mut t = TraceRecorder::new(100);
+        t.record("worker-0".into(), Activity::Compute, 0, 0.0, 1.5);
+        t.record("worker-0".into(), Activity::Compute, 1, 2.0, 3.0);
+        t.record("ps-0".into(), Activity::Apply, 0, 1.6, 1.9);
+        t
+    }
+
+    #[test]
+    fn busy_time_sums_per_lane_and_activity() {
+        let t = sample();
+        assert!((t.busy_time("worker-0", Activity::Compute) - 2.5).abs() < 1e-12);
+        assert!((t.busy_time("ps-0", Activity::Apply) - 0.3).abs() < 1e-12);
+        assert_eq!(t.busy_time("worker-1", Activity::Compute), 0.0);
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let mut t = TraceRecorder::new(2);
+        for i in 0..5 {
+            t.record("w".into(), Activity::Push, i, i as f64, i as f64 + 0.5);
+        }
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let t = sample();
+        let json = t.to_chrome_trace();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["name"], "compute");
+        // Microsecond timestamps.
+        assert_eq!(events[1]["ts"], 2_000_000);
+        // Lanes map to stable tids.
+        assert_eq!(events[0]["tid"], events[1]["tid"]);
+        assert_ne!(events[0]["tid"], events[2]["tid"]);
+    }
+}

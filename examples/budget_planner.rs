@@ -1,0 +1,64 @@
+//! Budget planner: sweep deadlines and loss targets for a workload and
+//! print the cost-efficient plan for each goal — the decision table a
+//! practitioner would consult before launching a training job (the
+//! planning half of Figs. 11–12).
+//!
+//! ```text
+//! cargo run --release --example budget_planner
+//! ```
+
+use cynthia::prelude::*;
+
+fn main() {
+    let scheduler = Cynthia::new(default_catalog());
+    let workload = Workload::cifar10_bsp();
+    let profile = scheduler.profile(&workload);
+    // Ground-truth convergence as if fitted from a prior production run.
+    let loss = FittedLossModel {
+        sync: workload.sync,
+        beta0: workload.convergence.beta0,
+        beta1: workload.convergence.beta1,
+        r_squared: 1.0,
+    };
+
+    println!(
+        "Budget planner for {} (profiled on {})\n",
+        workload.id(),
+        profile.baseline_type
+    );
+    println!(
+        "{:>9}  {:>6}  {:>22}  {:>9}  {:>9}  {:>8}",
+        "deadline", "loss", "plan", "pred time", "pred cost", "$/update"
+    );
+
+    for target_loss in [0.8, 0.7, 0.6, 0.5] {
+        for deadline_mins in [30u32, 60, 120, 240] {
+            let goal = Goal {
+                deadline_secs: deadline_mins as f64 * 60.0,
+                target_loss,
+            };
+            match scheduler.plan(&profile, &loss, &goal) {
+                Some(plan) => println!(
+                    "{:>7}m  {:>6.2}  {:>22}  {:>8.0}s  {:>9.3}  {:>8.5}",
+                    deadline_mins,
+                    target_loss,
+                    format!("{}×{} + {}ps", plan.n_workers, plan.type_name, plan.n_ps),
+                    plan.predicted_time,
+                    plan.predicted_cost,
+                    plan.predicted_cost / plan.total_updates as f64,
+                ),
+                None => println!(
+                    "{:>7}m  {:>6.2}  {:>22}",
+                    deadline_mins, target_loss, "infeasible"
+                ),
+            }
+        }
+    }
+
+    println!(
+        "\nNote: targets at or below the fitted loss floor (β1 = {:.2}) are\n\
+         unreachable at any scale; very tight deadlines become infeasible\n\
+         once the PS service bandwidth saturates.",
+        loss.beta1
+    );
+}

@@ -1,0 +1,61 @@
+//! Multi-PS scaling: when does a second (or fourth) parameter server pay
+//! for itself? Reproduces the Fig. 10 reasoning that justifies Theorem
+//! 4.1's minimum-PS rule, with per-configuration cost.
+//!
+//! ```text
+//! cargo run --release --example multi_ps_scaling
+//! ```
+
+use cynthia::prelude::*;
+
+fn main() {
+    let catalog = default_catalog();
+    let m4 = catalog.expect("m4.xlarge");
+
+    for (workload, iters, counts) in [
+        (Workload::mnist_bsp(), 3000u64, [8u32, 16]),
+        (Workload::vgg19_asp(), 200, [9, 12]),
+    ] {
+        let w = workload.with_iterations(iters);
+        println!("== {} ==", w.id());
+        println!(
+            "{:>7}  {:>4}  {:>10}  {:>9}  {:>9}  {:>9}",
+            "workers", "PS", "time (s)", "PS util", "NIC MB/s", "cost ($)"
+        );
+        for &n in &counts {
+            for n_ps in [1u32, 2, 4] {
+                let report = simulate(&TrainJob {
+                    workload: &w,
+                    cluster: ClusterSpec::homogeneous(m4, n, n_ps),
+                    config: SimConfig::fast(3),
+                });
+                let cost = cynthia::cloud::billing::static_cluster_cost(
+                    m4.price_per_hour,
+                    n,
+                    m4.price_per_hour,
+                    n_ps,
+                    report.total_time,
+                );
+                println!(
+                    "{:>7}  {:>4}  {:>10.0}  {:>8.0}%  {:>9.1}  {:>9.3}",
+                    n,
+                    n_ps,
+                    report.total_time,
+                    report.mean_ps_util() * 100.0,
+                    report.total_ps_nic_mbps(),
+                    cost
+                );
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "mnist saturates a single PS (CPU-ingest bound), so a second PS\n\
+         buys real time — but a fourth mostly buys idle servers. VGG-19's\n\
+         ASP traffic saturates the PS NIC around 9 workers, with the same\n\
+         pattern. Cynthia therefore provisions the *minimum* PS count that\n\
+         keeps workers un-throttled (Eqs. 17-18/22), escalating only when\n\
+         a goal is otherwise infeasible."
+    );
+}

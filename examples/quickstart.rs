@@ -1,0 +1,73 @@
+//! Quickstart: submit a DDNN training job with a performance goal and let
+//! Cynthia profile, plan, provision, and train it — the full pipeline of
+//! the prototype in Sec. 5 of the paper.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cynthia::prelude::*;
+
+fn main() {
+    let scheduler = Cynthia::new(default_catalog());
+    let workload = Workload::cifar10_bsp();
+    let goal = Goal {
+        deadline_secs: 7200.0, // two hours
+        target_loss: 0.8,
+    };
+
+    println!("== workload ==");
+    println!("{}", workload.model.summary().render_table());
+
+    // Step 1: one-shot 30-iteration profiling on the baseline worker.
+    let profile = scheduler.profile(&workload);
+    println!("== profile (Table 4 quantities) ==");
+    println!(
+        "w_iter = {:.3} GFLOP, g_param = {:.2} MB, c_prof = {:.3} GFLOPS, b_prof = {:.2} MB/s",
+        profile.w_iter_gflops, profile.g_param_mb, profile.c_prof_gflops, profile.b_prof_mbps
+    );
+    println!(
+        "profiling took {:.1} virtual seconds\n",
+        profile.profiling_wallclock
+    );
+
+    // Step 2: loss model from a reference run (Eq. 1).
+    let loss = scheduler.fit_loss(&workload, 4);
+    println!("== fitted loss model ==");
+    println!(
+        "loss(s) = {:.1}/s + {:.3}   (R² = {:.4})\n",
+        loss.beta0, loss.beta1, loss.r_squared
+    );
+
+    // Step 3: Algorithm 1 provisioning.
+    let plan = scheduler
+        .plan(&profile, &loss, &goal)
+        .expect("the goal is feasible");
+    println!("== plan ==");
+    println!(
+        "{} workers + {} PS on {} | {} iterations | predicted {:.0}s, ${:.3}",
+        plan.n_workers,
+        plan.n_ps,
+        plan.type_name,
+        plan.iterations,
+        plan.predicted_time,
+        plan.predicted_cost
+    );
+
+    // Steps 4-5: provision, train, settle the bill.
+    let report = scheduler.execute(&workload, &plan, &goal, 0.0);
+    println!("\n== outcome ==");
+    println!(
+        "trained {} updates in {:.0}s (goal {:.0}s) -> met: {}",
+        report.training.iterations,
+        report.training.total_time,
+        goal.deadline_secs,
+        report.met_deadline
+    );
+    println!(
+        "final loss {:.3} (goal {:.2}) -> met: {}",
+        report.training.final_loss, goal.target_loss, report.met_loss
+    );
+    println!("actual cost ${:.3}", report.actual_cost);
+    println!("cluster join token: {}", report.join_token);
+}

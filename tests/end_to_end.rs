@@ -1,0 +1,139 @@
+//! End-to-end integration: the whole pipeline (profile → fit → plan →
+//! provision → train → bill) across workloads and goals.
+
+use cynthia::prelude::*;
+
+fn scheduler() -> Cynthia {
+    Cynthia::new(default_catalog())
+}
+
+#[test]
+fn cifar10_bsp_goal_is_met_at_reported_cost() {
+    let s = scheduler();
+    let goal = Goal {
+        deadline_secs: 7200.0,
+        target_loss: 0.8,
+    };
+    let report = s
+        .run_end_to_end(&Workload::cifar10_bsp(), &goal)
+        .expect("feasible");
+    assert!(report.met_deadline, "took {:.0}s", report.training.total_time);
+    assert!(report.met_loss, "final loss {}", report.training.final_loss);
+    assert!(report.actual_cost > 0.0 && report.actual_cost < 10.0);
+    // The bill matches Eq. (8) recomputed from the plan and actual time.
+    let ty = s.catalog.expect(&report.plan.type_name);
+    let expect = cynthia::cloud::billing::static_cluster_cost(
+        ty.price_per_hour,
+        report.plan.n_workers,
+        ty.price_per_hour,
+        report.plan.n_ps,
+        report.training.total_time,
+    );
+    assert!((report.actual_cost - expect).abs() < 1e-9);
+}
+
+#[test]
+fn vgg19_asp_goal_is_met() {
+    let s = scheduler();
+    let goal = Goal {
+        deadline_secs: 3600.0,
+        target_loss: 0.8,
+    };
+    let report = s
+        .run_end_to_end(&Workload::vgg19_asp(), &goal)
+        .expect("feasible");
+    assert!(report.met_deadline, "took {:.0}s", report.training.total_time);
+    assert!(report.met_loss, "final loss {}", report.training.final_loss);
+    // ASP budgets iterations per worker.
+    assert_eq!(
+        report.plan.total_updates,
+        report.plan.iterations * report.plan.n_workers as u64
+    );
+}
+
+#[test]
+fn impossible_goals_are_rejected_not_mispromised() {
+    let s = scheduler();
+    // Loss below the floor.
+    assert!(s
+        .run_end_to_end(
+            &Workload::cifar10_bsp(),
+            &Goal {
+                deadline_secs: 7200.0,
+                target_loss: 0.05
+            }
+        )
+        .is_none());
+    // Deadline no cluster in the catalog can hit.
+    assert!(s
+        .run_end_to_end(
+            &Workload::vgg19_asp(),
+            &Goal {
+                deadline_secs: 30.0,
+                target_loss: 0.8
+            }
+        )
+        .is_none());
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let goal = Goal {
+        deadline_secs: 7200.0,
+        target_loss: 0.8,
+    };
+    let a = scheduler()
+        .run_end_to_end(&Workload::cifar10_bsp(), &goal)
+        .unwrap();
+    let b = scheduler()
+        .run_end_to_end(&Workload::cifar10_bsp(), &goal)
+        .unwrap();
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.training.total_time, b.training.total_time);
+    assert_eq!(a.actual_cost, b.actual_cost);
+}
+
+#[test]
+fn relaxed_goals_never_cost_more_than_the_planner_promised() {
+    let s = scheduler();
+    let w = Workload::cifar10_bsp();
+    let profile = s.profile(&w);
+    let loss = s.fit_loss(&w, 4);
+    for deadline in [5400.0, 9000.0, 14400.0] {
+        let goal = Goal {
+            deadline_secs: deadline,
+            target_loss: 0.8,
+        };
+        if let Some(plan) = s.plan(&profile, &loss, &goal) {
+            let report = s.execute(&w, &plan, &goal, 0.0);
+            // The actual bill stays within 15% of the prediction (the
+            // simulator and model agree that closely on these shapes).
+            let drift = (report.actual_cost - plan.predicted_cost).abs() / plan.predicted_cost;
+            assert!(
+                drift < 0.15,
+                "cost drift {:.1}% at deadline {deadline}",
+                drift * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn execution_report_carries_the_prototype_artifacts() {
+    let s = scheduler();
+    let goal = Goal {
+        deadline_secs: 10800.0,
+        target_loss: 0.8,
+    };
+    let report = s
+        .run_end_to_end(&Workload::cifar10_bsp(), &goal)
+        .unwrap();
+    // kubeadm-style join token from the simulated control plane.
+    assert!(report.join_token.contains('.'));
+    // Loss curve present and decreasing in trend.
+    let curve = &report.training.loss_curve;
+    assert!(curve.len() > 10);
+    assert!(curve.last().unwrap().1 < curve.first().unwrap().1);
+    // Planning overhead recorded (Sec. 5.3).
+    assert!(report.planning_seconds < 1.0);
+}

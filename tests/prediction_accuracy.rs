@@ -1,0 +1,135 @@
+//! Cross-crate prediction accuracy: the paper's central quantitative
+//! claim (Sec. 5.1) — Cynthia's model tracks the ground truth within a
+//! few percent across workloads, cluster shapes, instance types, and
+//! synchronization modes, while the baselines degrade under bottlenecks.
+
+use cynthia::prelude::*;
+use cynthia_core::profiler::profile_workload;
+
+fn observed(w: &Workload, spec: ClusterSpec, seed: u64) -> f64 {
+    simulate(&TrainJob {
+        workload: w,
+        cluster: spec,
+        config: SimConfig::fast(seed),
+    })
+    .total_time
+}
+
+#[test]
+fn cynthia_tracks_all_four_workloads() {
+    let catalog = default_catalog();
+    let m4 = catalog.expect("m4.xlarge");
+    let cases: Vec<(Workload, Vec<u32>)> = vec![
+        (Workload::mnist_bsp().with_iterations(2000), vec![1, 4, 8]),
+        (Workload::cifar10_bsp().with_iterations(1000), vec![4, 9, 13]),
+        (Workload::resnet32_asp().with_iterations(300), vec![4, 9]),
+        (Workload::vgg19_asp().with_iterations(300), vec![7, 12]),
+    ];
+    for (w, counts) in cases {
+        let model = CynthiaModel::new(profile_workload(&w, m4, 3));
+        for n in counts {
+            let obs = observed(&w, ClusterSpec::homogeneous(m4, n, 1), 5);
+            let pred = model.predict_time(&ClusterShape::homogeneous(m4, n, 1), w.iterations);
+            let err = (pred - obs).abs() / obs;
+            assert!(
+                err < 0.12,
+                "{} n={n}: {:.1}% ({pred:.0} vs {obs:.0})",
+                w.id(),
+                err * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_transfers_across_instance_types() {
+    // Fig. 8's property: profile once on m4, predict on anything.
+    let catalog = default_catalog();
+    let m4 = catalog.expect("m4.xlarge");
+    let w = Workload::cifar10_bsp().with_iterations(1000);
+    let model = CynthiaModel::new(profile_workload(&w, m4, 3));
+    for ty_name in ["c3.xlarge", "r3.xlarge", "c4.xlarge"] {
+        let ty = catalog.expect(ty_name);
+        let obs = observed(&w, ClusterSpec::homogeneous(ty, 8, 1), 7);
+        let pred = model.predict_time(&ClusterShape::homogeneous(ty, 8, 1), w.iterations);
+        let err = (pred - obs).abs() / obs;
+        assert!(
+            err < 0.12,
+            "{ty_name}: {:.1}% ({pred:.0} vs {obs:.0})",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn baselines_fail_exactly_where_the_paper_says() {
+    let catalog = default_catalog();
+    let m4 = catalog.expect("m4.xlarge");
+
+    // (1) Bottleneck regime (mnist at 8 workers): both baselines
+    // underpredict; Cynthia does not.
+    let w = Workload::mnist_bsp().with_iterations(2000);
+    let profile = profile_workload(&w, m4, 3);
+    let cynthia = CynthiaModel::new(profile.clone());
+    let paleo = PaleoModel::new(profile.clone());
+    let optimus = OptimusModel::fit_from_simulation(&w, m4, &[1, 2, 3, 4], 3);
+    let shape = ClusterShape::homogeneous(m4, 8, 1);
+    let obs = observed(&w, ClusterSpec::homogeneous(m4, 8, 1), 9);
+    let e = |p: f64| (p - obs) / obs;
+    assert!(e(cynthia.predict_time(&shape, 2000)).abs() < 0.10);
+    assert!(
+        e(optimus.predict_time(&shape, 2000)) < -0.15,
+        "Optimus should underpredict the knee"
+    );
+    assert!(
+        e(paleo.predict_time(&shape, 2000)) < -0.15,
+        "Paleo should underpredict the knee"
+    );
+
+    // (2) Balanced BSP (cifar10 at 9 workers): additive baselines
+    // overpredict because they ignore the compute/communication overlap.
+    let w2 = Workload::cifar10_bsp().with_iterations(1000);
+    let profile2 = profile_workload(&w2, m4, 3);
+    let cynthia2 = CynthiaModel::new(profile2.clone());
+    let paleo2 = PaleoModel::new(profile2);
+    let shape2 = ClusterShape::homogeneous(m4, 9, 1);
+    let obs2 = observed(&w2, ClusterSpec::homogeneous(m4, 9, 1), 9);
+    assert!(((cynthia2.predict_time(&shape2, 1000) - obs2) / obs2).abs() < 0.10);
+    assert!(
+        (paleo2.predict_time(&shape2, 1000) - obs2) / obs2 > 0.25,
+        "Paleo should overpredict the balanced regime"
+    );
+}
+
+#[test]
+fn predicted_worker_utilization_matches_table2_shape() {
+    let catalog = default_catalog();
+    let m4 = catalog.expect("m4.xlarge");
+    let w = Workload::mnist_bsp().with_iterations(1500);
+    let model = CynthiaModel::new(profile_workload(&w, m4, 3));
+    // Predicted busy fraction tracks the measured utilization closely and
+    // both collapse as the PS saturates.
+    let mut last = f64::INFINITY;
+    for n in [2u32, 4, 8] {
+        let predicted =
+            model.predicted_worker_busy_fraction(&ClusterShape::homogeneous(m4, n, 1));
+        let report = simulate(&TrainJob {
+            workload: &w,
+            cluster: ClusterSpec::homogeneous(m4, n, 1),
+            config: SimConfig::fast(5),
+        });
+        let measured = report.mean_worker_util();
+        assert!(
+            predicted <= last + 1e-9,
+            "utilization must not increase with n"
+        );
+        last = predicted;
+        assert!(
+            (predicted - measured).abs() < 0.12,
+            "n={n}: predicted u={predicted:.2} vs measured {measured:.2}"
+        );
+        // The paper-literal demand/supply u is an optimistic envelope.
+        let u_paper = model.worker_utilization(&ClusterShape::homogeneous(m4, n, 1));
+        assert!(u_paper + 1e-9 >= predicted, "n={n}: {u_paper} vs {predicted}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the provisioner: for randomized feasible
+//! goals, Algorithm 1's plans respect every constraint of the
+//! optimization problem (Eqs. 8–11) and Theorem 4.1's structure.
+
+use cynthia::prelude::*;
+use cynthia_core::profiler::profile_workload;
+use cynthia_core::provisioner::{max_provision_ratio, plan, worker_bounds};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    catalog: Catalog,
+    profile: ProfileData,
+    loss: FittedLossModel,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let catalog = default_catalog();
+        let w = Workload::cifar10_bsp();
+        let profile = profile_workload(&w, catalog.expect("m4.xlarge"), 17);
+        let loss = FittedLossModel {
+            sync: w.sync,
+            beta0: w.convergence.beta0,
+            beta1: w.convergence.beta1,
+            r_squared: 1.0,
+        };
+        Fixture {
+            catalog,
+            profile,
+            loss,
+        }
+    })
+}
+
+fn asp_fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let catalog = default_catalog();
+        let w = Workload::vgg19_asp();
+        let profile = profile_workload(&w, catalog.expect("m4.xlarge"), 18);
+        let loss = FittedLossModel {
+            sync: w.sync,
+            beta0: w.convergence.beta0,
+            beta1: w.convergence.beta1,
+            r_squared: 1.0,
+        };
+        Fixture {
+            catalog,
+            profile,
+            loss,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any plan the BSP planner emits satisfies the deadline (with
+    /// headroom), prices correctly, and keeps the worker:PS ratio within
+    /// the Theorem 4.1 escalation band.
+    #[test]
+    fn bsp_plans_respect_all_constraints(
+        deadline_mins in 20u32..400,
+        loss_centi in 50u32..90,
+    ) {
+        let f = fixture();
+        let goal = Goal {
+            deadline_secs: deadline_mins as f64 * 60.0,
+            target_loss: loss_centi as f64 / 100.0,
+        };
+        let opts = PlannerOptions::default();
+        if let Some(p) = plan(&f.profile, &f.loss, &f.catalog, &goal, &opts) {
+            prop_assert!(p.predicted_time < goal.deadline_secs * opts.headroom);
+            prop_assert!(p.n_workers >= 1 && p.n_ps >= 1);
+            let ty = f.catalog.expect(&p.type_name);
+            let expect_cost = cynthia::cloud::billing::static_cluster_cost(
+                ty.price_per_hour, p.n_workers, ty.price_per_hour, p.n_ps, p.predicted_time,
+            );
+            prop_assert!((p.predicted_cost - expect_cost).abs() < 1e-9);
+            // Eq. (10): the iteration budget reaches the loss target.
+            let achieved = f.loss.predict(p.total_updates, p.n_workers);
+            prop_assert!(achieved <= goal.target_loss + 1e-9,
+                "loss {achieved} misses target {}", goal.target_loss);
+            // Worker:PS ratio stays within the escalated band.
+            let bounds = worker_bounds(&f.profile, &f.loss, ty, &Goal {
+                deadline_secs: goal.deadline_secs * opts.headroom,
+                target_loss: goal.target_loss,
+            }).expect("feasible target has bounds");
+            prop_assert!(p.n_ps <= bounds.n_ps + opts.max_ps_escalation);
+        }
+    }
+
+    /// ASP plans: iteration accounting is exact and the ratio bound of
+    /// Eq. (11) holds within the escalation allowance.
+    #[test]
+    fn asp_plans_account_for_staleness(
+        deadline_mins in 25u32..240,
+        loss_centi in 30u32..90,
+    ) {
+        let f = asp_fixture();
+        let goal = Goal {
+            deadline_secs: deadline_mins as f64 * 60.0,
+            target_loss: loss_centi as f64 / 100.0,
+        };
+        let opts = PlannerOptions::default();
+        if let Some(p) = plan(&f.profile, &f.loss, &f.catalog, &goal, &opts) {
+            prop_assert_eq!(p.total_updates, p.iterations * p.n_workers as u64);
+            let achieved = f.loss.predict(p.total_updates, p.n_workers);
+            prop_assert!(achieved <= goal.target_loss + 1e-9);
+            let ty = f.catalog.expect(&p.type_name);
+            let r = max_provision_ratio(&f.profile, ty);
+            prop_assert!(
+                p.n_workers as f64 <= r * p.n_ps as f64 + 1.0,
+                "ratio violated: {} workers, {} ps, r={r}", p.n_workers, p.n_ps
+            );
+        }
+    }
+
+    /// Theorem 4.1 bounds are well-ordered for every type and goal.
+    #[test]
+    fn bounds_are_always_ordered(
+        deadline_mins in 10u32..600,
+        loss_centi in 46u32..120,
+        ty_idx in 0usize..6,
+    ) {
+        let f = fixture();
+        let ty = &f.catalog.types()[ty_idx % f.catalog.len()];
+        let goal = Goal {
+            deadline_secs: deadline_mins as f64 * 60.0,
+            target_loss: loss_centi as f64 / 100.0,
+        };
+        if let Some(b) = worker_bounds(&f.profile, &f.loss, ty, &goal) {
+            prop_assert!(b.n_lower >= 1);
+            prop_assert!(b.n_upper >= b.n_lower);
+            prop_assert!(b.n_ps >= 1);
+            prop_assert!(b.r >= 1.0);
+            prop_assert!(b.upper_for(b.n_ps + 2) >= b.n_upper);
+        } else {
+            // Only unreachable losses may fail to produce bounds.
+            prop_assert!(goal.target_loss <= f.loss.beta1);
+        }
+    }
+
+    /// Monotonicity: relaxing the deadline never makes a feasible goal
+    /// infeasible.
+    #[test]
+    fn feasibility_is_monotone_in_the_deadline(deadline_mins in 20u32..300) {
+        let f = fixture();
+        let opts = PlannerOptions::default();
+        let tight = Goal { deadline_secs: deadline_mins as f64 * 60.0, target_loss: 0.7 };
+        let relaxed = Goal { deadline_secs: tight.deadline_secs * 2.0, target_loss: 0.7 };
+        let tight_plan = plan(&f.profile, &f.loss, &f.catalog, &tight, &opts);
+        let relaxed_plan = plan(&f.profile, &f.loss, &f.catalog, &relaxed, &opts);
+        if tight_plan.is_some() {
+            prop_assert!(relaxed_plan.is_some(), "relaxing broke feasibility");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the ground-truth training simulator:
+//! conservation laws, determinism, and physical sanity across randomized
+//! cluster shapes.
+
+use cynthia::prelude::*;
+use proptest::prelude::*;
+
+fn run(w: &Workload, n: u32, n_ps: u32, seed: u64) -> TrainingReport {
+    let catalog = default_catalog();
+    simulate(&TrainJob {
+        workload: w,
+        cluster: ClusterSpec::homogeneous(catalog.expect("m4.xlarge"), n, n_ps),
+        config: SimConfig::deterministic(seed),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Identical inputs produce bit-identical reports.
+    #[test]
+    fn simulation_is_deterministic(n in 1u32..10, n_ps in 1u32..4, seed in 0u64..50) {
+        let w = Workload::mnist_bsp().with_iterations(120);
+        let a = run(&w, n, n_ps, seed);
+        let b = run(&w, n, n_ps, seed);
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.loss_curve, b.loss_curve);
+        prop_assert_eq!(a.ps_cpu_util, b.ps_cpu_util);
+        prop_assert_eq!(a.worker_cpu_util, b.worker_cpu_util);
+    }
+
+    /// Utilizations are proper fractions and the simulated time is
+    /// positive and finite.
+    #[test]
+    fn physical_sanity(n in 1u32..12, n_ps in 1u32..4) {
+        let w = Workload::mnist_bsp().with_iterations(150);
+        let r = run(&w, n, n_ps, 1);
+        prop_assert!(r.total_time.is_finite() && r.total_time > 0.0);
+        for u in r.worker_cpu_util.iter().chain(&r.ps_cpu_util) {
+            prop_assert!((0.0..=1.0).contains(u), "utilization {u}");
+        }
+        prop_assert_eq!(r.worker_cpu_util.len(), n as usize);
+        prop_assert_eq!(r.ps_cpu_util.len(), n_ps as usize);
+        prop_assert_eq!(r.n_workers, n);
+        prop_assert_eq!(r.simulated_iterations, 150);
+    }
+
+    /// Conservation: total PS NIC volume equals pushes + pulls of the
+    /// parameter payload (pulls of the final iteration may be cut off at
+    /// completion).
+    #[test]
+    fn nic_volume_is_conserved(n in 1u32..8) {
+        let w = Workload::mnist_bsp().with_iterations(100);
+        let r = run(&w, n, 1, 2);
+        let volume: f64 = r.ps_nic_mean_mbps.iter().sum::<f64>() * r.simulated_time;
+        let expect = 2.0 * w.param_mb() * n as f64 * 100.0;
+        // Within one iteration's worth of slack.
+        let slack = 2.0 * w.param_mb() * n as f64;
+        prop_assert!(
+            (volume - expect).abs() <= slack + 1e-6,
+            "volume {volume} vs expected {expect}"
+        );
+    }
+
+    /// More iterations never take less time.
+    #[test]
+    fn time_is_monotone_in_iterations(n in 1u32..6) {
+        let short = Workload::cifar10_bsp().with_iterations(40);
+        let long = Workload::cifar10_bsp().with_iterations(80);
+        let ts = run(&short, n, 1, 3).total_time;
+        let tl = run(&long, n, 1, 3).total_time;
+        prop_assert!(tl > ts, "{tl} vs {ts}");
+    }
+
+    /// The loss curve is sorted by iteration and ends at the target count
+    /// with a loss no worse than it started.
+    #[test]
+    fn loss_curve_is_well_formed(n in 1u32..6, seed in 0u64..20) {
+        let w = Workload::cifar10_bsp().with_iterations(600);
+        let r = run(&w, n, 1, seed);
+        let curve = &r.loss_curve;
+        prop_assert!(curve.windows(2).all(|p| p[0].0 < p[1].0), "unsorted curve");
+        prop_assert_eq!(curve.last().unwrap().0, 600);
+        prop_assert!(curve.last().unwrap().1 <= curve.first().unwrap().1);
+        prop_assert!(curve.iter().all(|(_, l)| l.is_finite() && *l > 0.0));
+    }
+
+    /// BSP iteration times are paced by the slowest worker: replacing one
+    /// m4 with a straggler can only slow the run down.
+    #[test]
+    fn stragglers_never_speed_bsp_up(n in 2u32..8) {
+        let catalog = default_catalog();
+        let m4 = catalog.expect("m4.xlarge");
+        let m1 = catalog.expect("m1.xlarge");
+        let w = Workload::mnist_bsp().with_iterations(120);
+        let homo = simulate(&TrainJob {
+            workload: &w,
+            cluster: ClusterSpec::homogeneous(m4, n, 1),
+            config: SimConfig::deterministic(4),
+        });
+        let hetero = simulate(&TrainJob {
+            workload: &w,
+            cluster: ClusterSpec::heterogeneous(m4, m1, n, 1),
+            config: SimConfig::deterministic(4),
+        });
+        prop_assert!(hetero.total_time >= homo.total_time * 0.99);
+    }
+}
