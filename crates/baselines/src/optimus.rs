@@ -267,8 +267,7 @@ mod tests {
         assert!(m.theta.iter().all(|t| *t >= 0.0), "{:?}", m.theta);
         // Still fits the data closely.
         for (n, t) in &samples {
-            let shape =
-                ClusterShape::homogeneous(default_catalog().expect("m4.xlarge"), *n, 1);
+            let shape = ClusterShape::homogeneous(default_catalog().expect("m4.xlarge"), *n, 1);
             assert!((m.iter_time(&shape) - t).abs() < 0.2, "{:?}", m.theta);
         }
     }

@@ -53,8 +53,8 @@ mod tests {
         let opts = PlannerOptions::default();
         let optimus = OptimusModel::fit_from_simulation(&w, m4, &[1, 2, 3, 4], 11);
         let p_cyn = plan(&profile, &loss, &cat, &goal, &opts).expect("cynthia plan");
-        let p_opt = plan_with_optimus(&optimus, &profile, &loss, &cat, &goal, &opts)
-            .expect("optimus plan");
+        let p_opt =
+            plan_with_optimus(&optimus, &profile, &loss, &cat, &goal, &opts).expect("optimus plan");
         let cyn_nodes = p_cyn.n_workers + p_cyn.n_ps;
         let opt_nodes = p_opt.n_workers + p_opt.n_ps;
         assert!(

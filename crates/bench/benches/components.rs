@@ -14,12 +14,13 @@ use cynthia_sim::fluid::{FlowSpec, FluidSystem};
 fn bench_fluid(c: &mut Criterion) {
     let mut g = c.benchmark_group("fluid");
     for flows in [8usize, 64, 256] {
-        g.bench_function(format!("recompute-{flows}-flows"), |b| {
+        g.bench_function(&format!("recompute-{flows}-flows"), |b| {
             b.iter_batched(
                 || {
                     let mut sys = FluidSystem::new();
-                    let links: Vec<_> =
-                        (0..8).map(|i| sys.add_resource(100.0, format!("l{i}"))).collect();
+                    let links: Vec<_> = (0..8)
+                        .map(|i| sys.add_resource(100.0, format!("l{i}")))
+                        .collect();
                     for i in 0..flows {
                         sys.start_flow(FlowSpec::new(
                             vec![links[i % 8], links[(i + 1) % 8]],
@@ -77,9 +78,7 @@ fn bench_loss_fit(c: &mut Criterion) {
         .map(|i| (i * 19, 700.0 / (i as f64 * 19.0) + 0.45))
         .collect();
     c.bench_function("loss-fit-512-samples", |b| {
-        b.iter(|| {
-            cynthia_core::loss_model::FittedLossModel::fit(SyncMode::Bsp, &curve, 1)
-        })
+        b.iter(|| cynthia_core::loss_model::FittedLossModel::fit(SyncMode::Bsp, &curve, 1))
     });
 }
 

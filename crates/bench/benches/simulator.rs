@@ -13,11 +13,36 @@ fn bench_simulator(c: &mut Criterion) {
     g.sample_size(10);
 
     for (label, workload, n, n_ps) in [
-        ("mnist-bsp-1wk", Workload::mnist_bsp().with_iterations(200), 1u32, 1u32),
-        ("mnist-bsp-8wk", Workload::mnist_bsp().with_iterations(200), 8, 1),
-        ("mnist-bsp-8wk-4ps", Workload::mnist_bsp().with_iterations(200), 8, 4),
-        ("vgg-asp-9wk", Workload::vgg19_asp().with_iterations(100), 9, 1),
-        ("cifar-bsp-17wk", Workload::cifar10_bsp().with_iterations(100), 17, 1),
+        (
+            "mnist-bsp-1wk",
+            Workload::mnist_bsp().with_iterations(200),
+            1u32,
+            1u32,
+        ),
+        (
+            "mnist-bsp-8wk",
+            Workload::mnist_bsp().with_iterations(200),
+            8,
+            1,
+        ),
+        (
+            "mnist-bsp-8wk-4ps",
+            Workload::mnist_bsp().with_iterations(200),
+            8,
+            4,
+        ),
+        (
+            "vgg-asp-9wk",
+            Workload::vgg19_asp().with_iterations(100),
+            9,
+            1,
+        ),
+        (
+            "cifar-bsp-17wk",
+            Workload::cifar10_bsp().with_iterations(100),
+            17,
+            1,
+        ),
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {

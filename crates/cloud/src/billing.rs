@@ -4,15 +4,51 @@
 //! count. `BillingMeter` generalizes that to arbitrary launch/terminate
 //! schedules so the end-to-end framework can also account for provisioning
 //! latency if desired.
+//!
+//! Spot-priced capacity is billed through the same meter: a spot lease is a
+//! sequence of fixed-price segments, and [`BillingMeter::reprice`] settles
+//! the running segment and opens the next one whenever the market price
+//! moves (the elastic layer drives this at each price epoch).
 
 use std::collections::HashMap;
 
+/// Typed billing failures. Revocation handling drives terminate/lookup
+/// paths programmatically, so these are recoverable values, not panics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BillingError {
+    /// The lease id was never issued by this meter.
+    UnknownLease(u64),
+    /// The lease was already terminated (double-revocation, double-teardown).
+    AlreadyTerminated(u64),
+    /// The event time precedes the lease's (current segment) start.
+    TimeBeforeStart { id: u64, start: f64, t: f64 },
+}
+
+impl std::fmt::Display for BillingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BillingError::UnknownLease(id) => write!(f, "unknown lease {id}"),
+            BillingError::AlreadyTerminated(id) => write!(f, "lease {id} already terminated"),
+            BillingError::TimeBeforeStart { id, start, t } => {
+                write!(f, "event at t={t} precedes start {start} of lease {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BillingError {}
+
 /// One billable lease: an instance of some hourly price running over an
-/// interval.
+/// interval. For spot leases, `start`/`settled_before` describe only the
+/// *current* price segment; earlier segments are folded into
+/// `settled_before`.
 #[derive(Debug, Clone)]
 struct Lease {
     price_per_hour: f64,
+    /// Start of the current price segment.
     start: f64,
+    /// Cost of this lease's already-settled earlier price segments.
+    settled_before: f64,
     /// `None` while still running.
     end: Option<f64>,
 }
@@ -43,23 +79,67 @@ impl BillingMeter {
             Lease {
                 price_per_hour,
                 start: t,
+                settled_before: 0.0,
                 end: None,
             },
         );
         id
     }
 
-    /// Stops billing lease `id` at time `t`.
+    fn running_lease_mut(&mut self, id: u64) -> Result<&mut Lease, BillingError> {
+        let lease = self
+            .leases
+            .get_mut(&id)
+            .ok_or(BillingError::UnknownLease(id))?;
+        if lease.end.is_some() {
+            return Err(BillingError::AlreadyTerminated(id));
+        }
+        Ok(lease)
+    }
+
+    /// Stops billing lease `id` at time `t`; returns the lease's total
+    /// settled cost.
     ///
-    /// # Panics
-    /// Panics on an unknown or already-terminated lease, or if `t` precedes
-    /// the launch.
-    pub fn terminate(&mut self, id: u64, t: f64) {
-        let lease = self.leases.get_mut(&id).expect("unknown lease");
-        assert!(lease.end.is_none(), "lease {id} already terminated");
-        assert!(t >= lease.start, "terminate before launch");
+    /// # Errors
+    /// [`BillingError::UnknownLease`] for a handle this meter never issued,
+    /// [`BillingError::AlreadyTerminated`] on double-terminate, and
+    /// [`BillingError::TimeBeforeStart`] if `t` precedes the lease's
+    /// current segment start.
+    pub fn terminate(&mut self, id: u64, t: f64) -> Result<f64, BillingError> {
+        let lease = self.running_lease_mut(id)?;
+        if t < lease.start {
+            return Err(BillingError::TimeBeforeStart {
+                id,
+                start: lease.start,
+                t,
+            });
+        }
         lease.end = Some(t);
-        self.settled += lease.price_per_hour * (t - lease.start) / 3600.0;
+        let cost = lease.settled_before + lease.price_per_hour * (t - lease.start) / 3600.0;
+        self.settled += cost;
+        Ok(cost)
+    }
+
+    /// Changes the hourly price of a running lease at time `t` (spot price
+    /// epoch): settles the segment `[segment_start, t)` at the old price
+    /// and continues at `price_per_hour`.
+    ///
+    /// # Errors
+    /// Same conditions as [`BillingMeter::terminate`].
+    pub fn reprice(&mut self, id: u64, t: f64, price_per_hour: f64) -> Result<(), BillingError> {
+        assert!(price_per_hour >= 0.0);
+        let lease = self.running_lease_mut(id)?;
+        if t < lease.start {
+            return Err(BillingError::TimeBeforeStart {
+                id,
+                start: lease.start,
+                t,
+            });
+        }
+        lease.settled_before += lease.price_per_hour * (t - lease.start) / 3600.0;
+        lease.start = t;
+        lease.price_per_hour = price_per_hour;
+        Ok(())
     }
 
     /// Terminates every running lease at `t`.
@@ -71,8 +151,32 @@ impl BillingMeter {
             .map(|(id, _)| *id)
             .collect();
         for id in running {
-            self.terminate(id, t);
+            // Running leases by construction; clamp never fires for sane
+            // schedules, but terminate_all must not fail halfway.
+            let _ = self.terminate(id, t);
         }
+    }
+
+    /// Whether lease `id` is currently running.
+    ///
+    /// # Errors
+    /// [`BillingError::UnknownLease`] for a handle this meter never issued.
+    pub fn is_running(&self, id: u64) -> Result<bool, BillingError> {
+        self.leases
+            .get(&id)
+            .map(|l| l.end.is_none())
+            .ok_or(BillingError::UnknownLease(id))
+    }
+
+    /// Accrued cost of a single lease as of `t` (running leases billed up
+    /// to `t`, terminated leases at their final cost).
+    ///
+    /// # Errors
+    /// [`BillingError::UnknownLease`] for a handle this meter never issued.
+    pub fn lease_cost(&self, id: u64, t: f64) -> Result<f64, BillingError> {
+        let lease = self.leases.get(&id).ok_or(BillingError::UnknownLease(id))?;
+        let horizon = lease.end.unwrap_or(t);
+        Ok(lease.settled_before + lease.price_per_hour * (horizon - lease.start).max(0.0) / 3600.0)
     }
 
     /// Total accrued cost as of time `t` (running leases billed up to `t`).
@@ -81,7 +185,7 @@ impl BillingMeter {
             .leases
             .values()
             .filter(|l| l.end.is_none())
-            .map(|l| l.price_per_hour * (t - l.start).max(0.0) / 3600.0)
+            .map(|l| l.settled_before + l.price_per_hour * (t - l.start).max(0.0) / 3600.0)
             .sum();
         self.settled + running
     }
@@ -116,7 +220,8 @@ mod tests {
         let mut m = BillingMeter::new();
         let id = m.launch(0.0, 3.6); // $3.6/h = $0.001/s
         assert!((m.total_cost(1000.0) - 1.0).abs() < 1e-9);
-        m.terminate(id, 2000.0);
+        let settled = m.terminate(id, 2000.0).unwrap();
+        assert!((settled - 2.0).abs() < 1e-9);
         assert!((m.total_cost(9999.0) - 2.0).abs() < 1e-9);
         assert_eq!(m.running(), 0);
     }
@@ -133,12 +238,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already terminated")]
-    fn double_terminate_panics() {
+    fn double_terminate_is_a_typed_error() {
         let mut m = BillingMeter::new();
         let id = m.launch(0.0, 1.0);
-        m.terminate(id, 1.0);
-        m.terminate(id, 2.0);
+        m.terminate(id, 1.0).unwrap();
+        assert_eq!(
+            m.terminate(id, 2.0),
+            Err(BillingError::AlreadyTerminated(id))
+        );
+        // The failed call did not disturb the settled cost.
+        assert!((m.total_cost(10.0) - 1.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminate_before_launch_is_a_typed_error() {
+        let mut m = BillingMeter::new();
+        let id = m.launch(100.0, 1.0);
+        assert_eq!(
+            m.terminate(id, 50.0),
+            Err(BillingError::TimeBeforeStart {
+                id,
+                start: 100.0,
+                t: 50.0
+            })
+        );
+        // The lease is still running and billable.
+        assert_eq!(m.is_running(id), Ok(true));
+        m.terminate(id, 3700.0).unwrap();
+        assert!((m.total_cost(9999.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_lease_is_a_typed_error() {
+        let mut m = BillingMeter::new();
+        assert_eq!(m.terminate(7, 1.0), Err(BillingError::UnknownLease(7)));
+        assert_eq!(m.is_running(7), Err(BillingError::UnknownLease(7)));
+        assert_eq!(m.lease_cost(7, 1.0), Err(BillingError::UnknownLease(7)));
+    }
+
+    #[test]
+    fn reprice_settles_segments() {
+        let mut m = BillingMeter::new();
+        let id = m.launch(0.0, 1.0);
+        // 1h at $1/h, then the spot price doubles for another hour.
+        m.reprice(id, 3600.0, 2.0).unwrap();
+        assert!((m.lease_cost(id, 7200.0).unwrap() - 3.0).abs() < 1e-9);
+        let settled = m.terminate(id, 7200.0).unwrap();
+        assert!((settled - 3.0).abs() < 1e-9);
+        assert_eq!(
+            m.reprice(id, 7300.0, 1.0),
+            Err(BillingError::AlreadyTerminated(id))
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   kubeadm-join-style cluster assembly used by the prototype (Sec. 5).
 //! * [`netperf`] — one-shot bandwidth measurement of a link, standing in
 //!   for the paper's use of the `netperf` tool.
+//! * [`spot`] — a deterministic spot market: per-type price traces and
+//!   seeded revocation processes for transient capacity.
 //!
 //! Calibration rationale lives in `DESIGN.md` §6: the catalog constants are
 //! chosen once so the paper's bottleneck knees (PS NIC saturation around
@@ -25,8 +27,10 @@ pub mod catalog;
 pub mod instance;
 pub mod netperf;
 pub mod provisioner;
+pub mod spot;
 
-pub use billing::BillingMeter;
+pub use billing::{BillingError, BillingMeter};
 pub use catalog::{capability_table, default_catalog, gpu_catalog, Catalog};
 pub use instance::{InstanceType, PodKind};
 pub use provisioner::{CloudProvider, Instance, InstanceId, ProvisionRequest, ProvisionedCluster};
+pub use spot::{RevocationModel, SpotMarket, SpotMarketConfig, SpotPriceTrace};

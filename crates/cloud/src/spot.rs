@@ -1,0 +1,354 @@
+//! Deterministic spot-market model: price traces and revocation processes.
+//!
+//! The paper provisions on-demand capacity only; the elastic layer extends
+//! it to transient (spot) instances, which trade a steep discount for the
+//! risk of revocation. This module supplies the two stochastic ingredients,
+//! both derived from a single master seed so that whole elastic experiments
+//! replay bit-for-bit:
+//!
+//! * [`SpotMarket::price_trace`] — a piecewise-constant, mean-reverting
+//!   bounded random walk over price epochs, one independent stream per
+//!   instance type.
+//! * [`SpotMarket::revocation_times`] — a renewal process of reclaim times
+//!   per (instance type, fleet slot), with exponential or Weibull
+//!   interarrivals ([`RevocationModel`]).
+
+use crate::instance::InstanceType;
+use cynthia_sim::rng::component_rng;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Interarrival distribution of spot reclaims for one fleet slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RevocationModel {
+    /// Never revoked (useful as a control).
+    None,
+    /// Memoryless reclaims: exponential interarrivals with the given rate.
+    Exponential { rate_per_hour: f64 },
+    /// Weibull interarrivals. `shape < 1` models front-loaded reclaim risk
+    /// (young instances die first, the empirical spot pattern); `shape = 1`
+    /// degenerates to exponential.
+    Weibull { shape: f64, scale_hours: f64 },
+}
+
+/// Shape of the simulated spot market, relative to on-demand prices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotMarketConfig {
+    /// Long-run mean spot price as a fraction of on-demand (~0.3 on EC2).
+    pub mean_discount: f64,
+    /// Lower clamp on the spot price, as a fraction of on-demand.
+    pub floor_discount: f64,
+    /// Upper clamp, as a fraction of on-demand (1.0 = never above it).
+    pub cap_discount: f64,
+    /// Seconds between price epochs (price is constant within an epoch).
+    pub epoch_secs: f64,
+    /// Pull toward the mean per epoch, in (0, 1].
+    pub reversion: f64,
+    /// Per-epoch noise, as a fraction of the mean spot price.
+    pub volatility: f64,
+    /// Reclaim process per fleet slot.
+    pub revocations: RevocationModel,
+}
+
+impl Default for SpotMarketConfig {
+    fn default() -> Self {
+        SpotMarketConfig {
+            mean_discount: 0.35,
+            floor_discount: 0.15,
+            cap_discount: 1.0,
+            epoch_secs: 300.0,
+            reversion: 0.3,
+            volatility: 0.08,
+            revocations: RevocationModel::Exponential { rate_per_hour: 0.5 },
+        }
+    }
+}
+
+impl SpotMarketConfig {
+    fn validate(&self) {
+        assert!(
+            self.mean_discount > 0.0 && self.mean_discount <= 1.0,
+            "mean_discount must be in (0, 1]"
+        );
+        assert!(
+            0.0 < self.floor_discount
+                && self.floor_discount <= self.mean_discount
+                && self.mean_discount <= self.cap_discount,
+            "discounts must satisfy 0 < floor <= mean <= cap"
+        );
+        assert!(self.epoch_secs > 0.0, "epoch_secs must be positive");
+        assert!(
+            self.reversion > 0.0 && self.reversion <= 1.0,
+            "reversion must be in (0, 1]"
+        );
+        assert!(self.volatility >= 0.0, "volatility must be non-negative");
+        if let RevocationModel::Weibull { shape, scale_hours } = self.revocations {
+            assert!(shape > 0.0 && scale_hours > 0.0, "degenerate Weibull");
+        }
+    }
+}
+
+/// A piecewise-constant spot price over time: `(epoch start, $/hour)`
+/// points in ascending order, the first at `t = 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotPriceTrace {
+    points: Vec<(f64, f64)>,
+}
+
+impl SpotPriceTrace {
+    /// The market price in force at time `t` (clamped to the first epoch
+    /// for `t < 0`).
+    pub fn price_at(&self, t: f64) -> f64 {
+        match self.points.iter().rev().find(|(start, _)| *start <= t) {
+            Some((_, p)) => *p,
+            None => self.points[0].1,
+        }
+    }
+
+    /// All `(time, price)` change points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Change points strictly inside `(from, to]` — the reprice events a
+    /// lease running over that interval must play back.
+    pub fn changes_in(&self, from: f64, to: f64) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .filter(|(t, _)| *t > from && *t <= to)
+            .copied()
+            .collect()
+    }
+
+    /// Time-weighted mean price over `[0, horizon]`.
+    pub fn mean_price(&self, horizon: f64) -> f64 {
+        assert!(horizon > 0.0);
+        let mut acc = 0.0;
+        for (i, (start, price)) in self.points.iter().enumerate() {
+            if *start >= horizon {
+                break;
+            }
+            let end = self
+                .points
+                .get(i + 1)
+                .map(|(t, _)| *t)
+                .unwrap_or(horizon)
+                .min(horizon);
+            acc += price * (end - start);
+        }
+        acc / horizon
+    }
+}
+
+/// A seeded spot market over an instance catalog. Streams are independent
+/// per instance type (prices) and per fleet slot (revocations): adding a
+/// worker, or querying another type, never perturbs existing draws.
+#[derive(Debug, Clone)]
+pub struct SpotMarket {
+    config: SpotMarketConfig,
+    seed: u64,
+}
+
+impl SpotMarket {
+    pub fn new(config: SpotMarketConfig, seed: u64) -> Self {
+        config.validate();
+        SpotMarket { config, seed }
+    }
+
+    pub fn config(&self) -> &SpotMarketConfig {
+        &self.config
+    }
+
+    /// The spot price trace of `ty` over `[0, horizon_secs]`.
+    pub fn price_trace(&self, ty: &InstanceType, horizon_secs: f64) -> SpotPriceTrace {
+        assert!(horizon_secs >= 0.0);
+        let od = ty.price_per_hour;
+        let mean = self.config.mean_discount * od;
+        let floor = self.config.floor_discount * od;
+        let cap = self.config.cap_discount * od;
+        let mut rng = component_rng(self.seed, &format!("spot-price:{}", ty.name), 0);
+        let mut price = mean;
+        let mut points = vec![(0.0, price)];
+        let mut t = self.config.epoch_secs;
+        while t <= horizon_secs {
+            let z = standard_normal(&mut rng);
+            price = (price
+                + self.config.reversion * (mean - price)
+                + self.config.volatility * mean * z)
+                .clamp(floor, cap);
+            // Consecutive clamps produce flat segments; skip the no-ops.
+            if price != points.last().expect("non-empty").1 {
+                points.push((t, price));
+            }
+            t += self.config.epoch_secs;
+        }
+        SpotPriceTrace { points }
+    }
+
+    /// Reclaim times within `[0, horizon_secs)` for fleet slot `slot` of
+    /// instance type `ty_name`. Each slot is an independent renewal
+    /// process; the schedule is a function of `(seed, type, slot)` only.
+    pub fn revocation_times(&self, ty_name: &str, slot: u64, horizon_secs: f64) -> Vec<f64> {
+        let mut rng = component_rng(self.seed, &format!("spot-revoke:{ty_name}"), slot);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        loop {
+            let dt = match self.config.revocations {
+                RevocationModel::None => return out,
+                RevocationModel::Exponential { rate_per_hour } => {
+                    if rate_per_hour <= 0.0 {
+                        return out;
+                    }
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    -u.ln() / rate_per_hour * 3600.0
+                }
+                RevocationModel::Weibull { shape, scale_hours } => {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    (-u.ln()).powf(1.0 / shape) * scale_hours * 3600.0
+                }
+            };
+            t += dt;
+            if t >= horizon_secs {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+/// One standard-normal draw (Box–Muller, as the jitter source uses).
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::default_catalog;
+
+    fn m4() -> InstanceType {
+        default_catalog().expect("m4.xlarge").clone()
+    }
+
+    fn market(seed: u64) -> SpotMarket {
+        SpotMarket::new(SpotMarketConfig::default(), seed)
+    }
+
+    #[test]
+    fn price_trace_is_bounded_and_deterministic() {
+        let ty = m4();
+        let a = market(7).price_trace(&ty, 24.0 * 3600.0);
+        let b = market(7).price_trace(&ty, 24.0 * 3600.0);
+        assert_eq!(a, b);
+        let floor = 0.15 * ty.price_per_hour;
+        let cap = ty.price_per_hour;
+        for (t, p) in a.points() {
+            assert!(*t >= 0.0);
+            assert!(
+                (floor - 1e-12..=cap + 1e-12).contains(p),
+                "price {p} escaped [{floor}, {cap}] at t={t}"
+            );
+        }
+        // The walk hovers near the configured mean discount.
+        let mean = a.mean_price(24.0 * 3600.0);
+        let target = 0.35 * ty.price_per_hour;
+        assert!(
+            (mean - target).abs() / target < 0.25,
+            "mean {mean} far from target {target}"
+        );
+    }
+
+    #[test]
+    fn traces_differ_across_types_and_seeds() {
+        let cat = default_catalog();
+        let m4 = cat.expect("m4.xlarge").clone();
+        let c3 = cat.expect("c3.xlarge").clone();
+        let mkt = market(7);
+        assert_ne!(
+            mkt.price_trace(&m4, 7200.0).points(),
+            mkt.price_trace(&c3, 7200.0).points()
+        );
+        assert_ne!(
+            mkt.price_trace(&m4, 7200.0),
+            market(8).price_trace(&m4, 7200.0)
+        );
+    }
+
+    #[test]
+    fn price_lookup_is_piecewise_constant() {
+        let ty = m4();
+        let trace = market(3).price_trace(&ty, 3600.0);
+        let pts = trace.points();
+        assert_eq!(pts[0].0, 0.0);
+        for w in pts.windows(2) {
+            // Just before the next epoch the earlier price still holds.
+            assert_eq!(trace.price_at(w[1].0 - 1e-6), w[0].1);
+            assert_eq!(trace.price_at(w[1].0), w[1].1);
+        }
+        let changes = trace.changes_in(0.0, 3600.0);
+        assert_eq!(changes.len(), pts.len() - 1, "t=0 point is not a change");
+    }
+
+    #[test]
+    fn exponential_revocations_match_rate() {
+        let mkt = SpotMarket::new(
+            SpotMarketConfig {
+                revocations: RevocationModel::Exponential { rate_per_hour: 2.0 },
+                ..SpotMarketConfig::default()
+            },
+            11,
+        );
+        // Aggregate over many slots: ≈ 2/h × 50 h × 40 slots = 4000 events.
+        let total: usize = (0..40)
+            .map(|slot| mkt.revocation_times("m4.xlarge", slot, 50.0 * 3600.0).len())
+            .sum();
+        assert!(
+            (3200..4800).contains(&total),
+            "observed {total} reclaims, expected ≈4000"
+        );
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let cfg_w = SpotMarketConfig {
+            revocations: RevocationModel::Weibull {
+                shape: 1.0,
+                scale_hours: 0.5,
+            },
+            ..SpotMarketConfig::default()
+        };
+        let times = SpotMarket::new(cfg_w, 5).revocation_times("m4.xlarge", 0, 100.0 * 3600.0);
+        // Mean interarrival ≈ scale = 0.5 h.
+        let mean = times.windows(2).map(|w| w[1] - w[0]).sum::<f64>() / (times.len() - 1) as f64;
+        assert!(
+            (mean / 1800.0 - 1.0).abs() < 0.2,
+            "mean interarrival {mean} s, expected ≈1800"
+        );
+    }
+
+    #[test]
+    fn revocation_schedules_are_per_slot_and_deterministic() {
+        let mkt = market(13);
+        let a = mkt.revocation_times("m4.xlarge", 0, 36_000.0);
+        let b = mkt.revocation_times("m4.xlarge", 0, 36_000.0);
+        let c = mkt.revocation_times("m4.xlarge", 1, 36_000.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+    }
+
+    #[test]
+    fn no_revocations_model_is_quiet() {
+        let mkt = SpotMarket::new(
+            SpotMarketConfig {
+                revocations: RevocationModel::None,
+                ..SpotMarketConfig::default()
+            },
+            1,
+        );
+        assert!(mkt.revocation_times("m4.xlarge", 0, 1e9).is_empty());
+    }
+}

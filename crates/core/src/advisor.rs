@@ -169,8 +169,7 @@ mod tests {
         // at most B under the cost-minimizing planner.
         let (profile, loss, catalog) = fixture();
         let opts = PlannerOptions::default();
-        let by_budget =
-            fastest_within_budget(&profile, &loss, &catalog, 0.7, 1.5, &opts).unwrap();
+        let by_budget = fastest_within_budget(&profile, &loss, &catalog, 0.7, 1.5, &opts).unwrap();
         let goal = Goal {
             deadline_secs: by_budget.predicted_time / opts.headroom + 1.0,
             target_loss: 0.7,

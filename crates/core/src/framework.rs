@@ -83,12 +83,7 @@ impl Cynthia {
     }
 
     /// Step 3: the provisioning plan for a goal.
-    pub fn plan(
-        &self,
-        profile: &ProfileData,
-        loss: &FittedLossModel,
-        goal: &Goal,
-    ) -> Option<Plan> {
+    pub fn plan(&self, profile: &ProfileData, loss: &FittedLossModel, goal: &Goal) -> Option<Plan> {
         plan(profile, loss, &self.catalog, goal, &self.planner)
     }
 

@@ -88,10 +88,7 @@ impl FittedLossModel {
         let mean_x = pairs.iter().map(|(x, _)| x).sum::<f64>() / n;
         let mean_y = pairs.iter().map(|(_, y)| y).sum::<f64>() / n;
         let sxx: f64 = pairs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
-        let sxy: f64 = pairs
-            .iter()
-            .map(|(x, y)| (x - mean_x) * (y - mean_y))
-            .sum();
+        let sxy: f64 = pairs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
         assert!(sxx > 0.0, "degenerate loss curve (constant basis)");
         let beta0 = sxy / sxx;
         let beta1 = mean_y - beta0 * mean_x;
@@ -214,10 +211,8 @@ mod tests {
     fn multi_curve_asp_fit_shares_coefficients() {
         let c4 = synth_curve(SyncMode::Asp, 450.0, 0.45, 4, 300);
         let c9 = synth_curve(SyncMode::Asp, 450.0, 0.45, 9, 300);
-        let m = FittedLossModel::fit_multi(
-            SyncMode::Asp,
-            &[(4, c4.as_slice()), (9, c9.as_slice())],
-        );
+        let m =
+            FittedLossModel::fit_multi(SyncMode::Asp, &[(4, c4.as_slice()), (9, c9.as_slice())]);
         assert!((m.beta0 - 450.0).abs() < 1e-6);
     }
 

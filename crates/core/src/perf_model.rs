@@ -439,7 +439,10 @@ mod tests {
         );
         // But the floor lifts with a second PS.
         let t20_2ps = m.predict_time(&m4_shape(20, 2), updates);
-        assert!(t20_2ps < t20 * 0.7, "2 PS should relieve: {t20_2ps} vs {t20}");
+        assert!(
+            t20_2ps < t20 * 0.7,
+            "2 PS should relieve: {t20_2ps} vs {t20}"
+        );
     }
 
     #[test]
@@ -447,12 +450,8 @@ mod tests {
         let cat = default_catalog();
         let m = CynthiaModel::new(m4_profile(&Workload::mnist_bsp()));
         let homo = ClusterShape::homogeneous(cat.expect("m4.xlarge"), 2, 1);
-        let spec = ClusterSpec::heterogeneous(
-            cat.expect("m4.xlarge"),
-            cat.expect("m1.xlarge"),
-            2,
-            1,
-        );
+        let spec =
+            ClusterSpec::heterogeneous(cat.expect("m4.xlarge"), cat.expect("m1.xlarge"), 2, 1);
         let hetero = ClusterShape::from_spec(&spec);
         assert!(m.t_comp(&hetero) > m.t_comp(&homo) * 1.5);
     }

@@ -78,11 +78,7 @@ pub fn profile_workload(workload: &Workload, baseline: &InstanceType, seed: u64)
     let c_base = baseline.core_gflops;
     let w_iter = report.comp_time.mean * c_base;
     // Total PS traffic over the run: pushes + pulls.
-    let volume: f64 = report
-        .ps_nic_mean_mbps
-        .iter()
-        .sum::<f64>()
-        * report.simulated_time;
+    let volume: f64 = report.ps_nic_mean_mbps.iter().sum::<f64>() * report.simulated_time;
     let g_param = volume / (2.0 * PROFILE_ITERATIONS as f64);
     let c_prof = report.mean_ps_util() * baseline.node_gflops;
     let b_prof = report.total_ps_nic_mbps();
@@ -116,7 +112,12 @@ mod tests {
         let w = Workload::mnist_bsp();
         let p = profile(&w);
         let err = (p.w_iter_gflops - w.w_iter_gflops).abs() / w.w_iter_gflops;
-        assert!(err < 0.05, "w_iter {} vs true {}", p.w_iter_gflops, w.w_iter_gflops);
+        assert!(
+            err < 0.05,
+            "w_iter {} vs true {}",
+            p.w_iter_gflops,
+            w.w_iter_gflops
+        );
     }
 
     #[test]
@@ -134,8 +135,7 @@ mod tests {
     fn table4_ordering_reproduced() {
         // w_iter: VGG ≈ ResNet > cifar10 > mnist; g_param: VGG dominates.
         let profiles: Vec<ProfileData> = Workload::table1().iter().map(profile).collect();
-        let (resnet, mnist, vgg, cifar) =
-            (&profiles[0], &profiles[1], &profiles[2], &profiles[3]);
+        let (resnet, mnist, vgg, cifar) = (&profiles[0], &profiles[1], &profiles[2], &profiles[3]);
         assert!(vgg.g_param_mb > 20.0 * cifar.g_param_mb);
         assert!(mnist.w_iter_gflops < 0.1);
         assert!(resnet.w_iter_gflops > 10.0);
@@ -144,7 +144,11 @@ mod tests {
         // BSP workloads in the paper; sanity: all rates positive and below
         // the node capability.
         for p in &profiles {
-            assert!(p.c_prof_gflops > 0.0 && p.c_prof_gflops < 3.6, "{:?}", p.workload_id);
+            assert!(
+                p.c_prof_gflops > 0.0 && p.c_prof_gflops < 3.6,
+                "{:?}",
+                p.workload_id
+            );
             assert!(p.b_prof_mbps > 0.0 && p.b_prof_mbps < 118.0);
         }
     }
@@ -168,10 +172,6 @@ mod tests {
         let p = profile(&w);
         // Ground truth: apply cost 0.10 GFLOP/MB on pushes only; traffic
         // counts pushes + pulls, so kappa ≈ 0.05.
-        assert!(
-            (p.kappa() - 0.05).abs() < 0.01,
-            "kappa {}",
-            p.kappa()
-        );
+        assert!((p.kappa() - 0.05).abs() < 0.01, "kappa {}", p.kappa());
     }
 }

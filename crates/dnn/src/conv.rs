@@ -277,7 +277,11 @@ mod tests {
             conv.apply(&d_w, &d_b, lr);
         }
         let head_loss = curve[..20].iter().map(|(_, l)| l).sum::<f64>() / 20.0;
-        let tail_loss = curve[curve.len() - 20..].iter().map(|(_, l)| l).sum::<f64>() / 20.0;
+        let tail_loss = curve[curve.len() - 20..]
+            .iter()
+            .map(|(_, l)| l)
+            .sum::<f64>()
+            / 20.0;
         assert!(
             tail_loss < head_loss * 0.7,
             "conv net should learn: {head_loss} -> {tail_loss}"

@@ -75,15 +75,18 @@ impl Blobs {
             data.extend_from_slice(self.features.row(r));
             labels.push(self.labels[r]);
         }
-        (
-            Matrix::from_vec(batch, self.features.cols(), data),
-            labels,
-        )
+        (Matrix::from_vec(batch, self.features.cols(), data), labels)
     }
 
     /// A disjoint-by-stride shard view for worker `j` of `n` (data
     /// parallelism): every n-th minibatch index belongs to worker `j`.
-    pub fn worker_batch(&self, worker: usize, n_workers: usize, step: usize, batch: usize) -> (Matrix, Vec<usize>) {
+    pub fn worker_batch(
+        &self,
+        worker: usize,
+        n_workers: usize,
+        step: usize,
+        batch: usize,
+    ) -> (Matrix, Vec<usize>) {
         self.minibatch(step * n_workers + worker, batch)
     }
 }

@@ -220,12 +220,16 @@ mod tests {
     use super::*;
 
     fn tiny_batch() -> (Matrix, Vec<usize>) {
-        let x = Matrix::from_vec(4, 3, vec![
-            0.5, -0.2, 0.1, //
-            -0.4, 0.9, 0.3, //
-            0.0, 0.2, -0.7, //
-            0.8, 0.8, 0.8,
-        ]);
+        let x = Matrix::from_vec(
+            4,
+            3,
+            vec![
+                0.5, -0.2, 0.1, //
+                -0.4, 0.9, 0.3, //
+                0.0, 0.2, -0.7, //
+                0.8, 0.8, 0.8,
+            ],
+        );
         (x, vec![0, 1, 2, 1])
     }
 

@@ -63,11 +63,7 @@ impl PsOutcome {
     pub fn tail_loss(&self, k: usize) -> f64 {
         let n = self.loss_curve.len();
         let k = k.min(n).max(1);
-        self.loss_curve[n - k..]
-            .iter()
-            .map(|(_, l)| l)
-            .sum::<f64>()
-            / k as f64
+        self.loss_curve[n - k..].iter().map(|(_, l)| l).sum::<f64>() / k as f64
     }
 }
 
@@ -267,14 +263,17 @@ mod tests {
     #[test]
     fn asp_staleness_grows_with_worker_count() {
         let data = blobs();
-        let s2 = train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Asp, 2, 300))
-            .mean_staleness();
-        let s8 = train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Asp, 8, 300))
-            .mean_staleness();
+        let s2 =
+            train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Asp, 2, 300)).mean_staleness();
+        let s8 =
+            train_parameter_server(&[12, 24, 4], &data, &cfg(PsMode::Asp, 8, 300)).mean_staleness();
         assert!(
             s8 > s2,
             "more workers must mean more missed updates: {s2} vs {s8}"
         );
-        assert!(s8 > 0.5, "8 ASP workers should observe real staleness: {s8}");
+        assert!(
+            s8 > 0.5,
+            "8 ASP workers should observe real staleness: {s8}"
+        );
     }
 }

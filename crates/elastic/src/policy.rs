@@ -1,0 +1,183 @@
+//! Repair policies for elastic fleets.
+//!
+//! Cynthia's provisioning (Alg. 1) is static: it picks one cluster and
+//! assumes it survives to the deadline. On transient (spot) capacity that
+//! assumption breaks — instances are reclaimed mid-run. A [`RepairPolicy`]
+//! decides, at provisioning time, which worker slots ride on spot capacity,
+//! and constrains which [`RepairAction`]s the online replanner may take
+//! when a slot is reclaimed.
+
+use serde::{Deserialize, Serialize};
+
+/// How a worker slot is backed by the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backing {
+    /// On-demand capacity: billed at the list price, never reclaimed.
+    OnDemand,
+    /// Spot capacity: billed at the (lower, time-varying) spot price, and
+    /// subject to the market's revocation process.
+    Spot,
+}
+
+/// What the replanner did about a reclaimed worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairAction {
+    /// Launch a replacement on spot capacity (cheap, but may itself be
+    /// reclaimed later).
+    ReplaceWithSpot,
+    /// Launch a replacement on on-demand capacity (reliable, full price).
+    ReplaceWithOnDemand,
+    /// Retire the slot: the surviving fleet still meets the goal per the
+    /// Theorem 4.1 band, so paying for a replacement is waste.
+    Shrink,
+}
+
+/// Fleet composition and repair behaviour under revocations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepairPolicy {
+    /// Every instance on-demand — the paper's baseline. Nothing is ever
+    /// reclaimed, so the replanner never runs.
+    OnDemandOnly,
+    /// Every worker on spot. Each revocation is replanned: replace with
+    /// spot while deadline slack remains, fall back to on-demand when it
+    /// runs out, shrink when the surviving fleet already suffices.
+    SpotWithFallback {
+        /// Replace with spot only while the post-repair slack exceeds
+        /// this many repair latencies — i.e. keep enough headroom to
+        /// absorb at least this many further outages on-demand.
+        fallback_slack_factor: f64,
+    },
+    /// A fixed fraction of worker slots on spot; the rest are on-demand
+    /// anchors. Spot slots repair like [`RepairPolicy::SpotWithFallback`].
+    MixedFleet {
+        /// Fraction of worker slots backed by spot, in `[0, 1]`.
+        spot_fraction: f64,
+        /// As in [`RepairPolicy::SpotWithFallback`].
+        fallback_slack_factor: f64,
+    },
+}
+
+impl RepairPolicy {
+    /// `SpotWithFallback` with the default slack factor of 2 repair
+    /// latencies.
+    pub fn spot_with_fallback() -> Self {
+        RepairPolicy::SpotWithFallback {
+            fallback_slack_factor: 2.0,
+        }
+    }
+
+    /// `MixedFleet` with the default slack factor.
+    pub fn mixed(spot_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&spot_fraction),
+            "spot_fraction must lie in [0, 1]"
+        );
+        RepairPolicy::MixedFleet {
+            spot_fraction,
+            fallback_slack_factor: 2.0,
+        }
+    }
+
+    /// Short human-readable label for reports and sweeps.
+    pub fn name(&self) -> String {
+        match self {
+            RepairPolicy::OnDemandOnly => "on-demand-only".to_string(),
+            RepairPolicy::SpotWithFallback { .. } => "spot-with-fallback".to_string(),
+            RepairPolicy::MixedFleet { spot_fraction, .. } => {
+                format!("mixed-fleet-{:.0}%-spot", spot_fraction * 100.0)
+            }
+        }
+    }
+
+    /// Backing of worker slot `slot` (0-based) in a fleet of `n` workers
+    /// at provisioning time. For `MixedFleet` the *high*-indexed slots go
+    /// to spot, so shrinking retires spot capacity first.
+    pub fn initial_backing(&self, slot: usize, n: usize) -> Backing {
+        match self {
+            RepairPolicy::OnDemandOnly => Backing::OnDemand,
+            RepairPolicy::SpotWithFallback { .. } => Backing::Spot,
+            RepairPolicy::MixedFleet { spot_fraction, .. } => {
+                let n_spot = (spot_fraction * n as f64).round() as usize;
+                if slot >= n - n_spot.min(n) {
+                    Backing::Spot
+                } else {
+                    Backing::OnDemand
+                }
+            }
+        }
+    }
+
+    /// Slack threshold (in repair latencies) below which repairs fall
+    /// back to on-demand capacity.
+    pub fn fallback_slack_factor(&self) -> f64 {
+        match self {
+            RepairPolicy::OnDemandOnly => f64::INFINITY,
+            RepairPolicy::SpotWithFallback {
+                fallback_slack_factor,
+            }
+            | RepairPolicy::MixedFleet {
+                fallback_slack_factor,
+                ..
+            } => *fallback_slack_factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_demand_only_backs_everything_on_demand() {
+        let p = RepairPolicy::OnDemandOnly;
+        for slot in 0..8 {
+            assert_eq!(p.initial_backing(slot, 8), Backing::OnDemand);
+        }
+    }
+
+    #[test]
+    fn spot_with_fallback_backs_everything_on_spot() {
+        let p = RepairPolicy::spot_with_fallback();
+        for slot in 0..8 {
+            assert_eq!(p.initial_backing(slot, 8), Backing::Spot);
+        }
+    }
+
+    #[test]
+    fn mixed_fleet_splits_by_fraction_spot_on_high_slots() {
+        let p = RepairPolicy::mixed(0.5);
+        let backings: Vec<Backing> = (0..4).map(|s| p.initial_backing(s, 4)).collect();
+        assert_eq!(
+            backings,
+            vec![
+                Backing::OnDemand,
+                Backing::OnDemand,
+                Backing::Spot,
+                Backing::Spot
+            ]
+        );
+    }
+
+    #[test]
+    fn mixed_fleet_extremes() {
+        let all_od = RepairPolicy::mixed(0.0);
+        let all_spot = RepairPolicy::mixed(1.0);
+        for slot in 0..5 {
+            assert_eq!(all_od.initial_backing(slot, 5), Backing::OnDemand);
+            assert_eq!(all_spot.initial_backing(slot, 5), Backing::Spot);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            RepairPolicy::OnDemandOnly.name(),
+            RepairPolicy::spot_with_fallback().name(),
+            RepairPolicy::mixed(0.5).name(),
+        ];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

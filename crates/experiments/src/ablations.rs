@@ -41,7 +41,12 @@ pub struct Ablations {
     pub bounds: BoundsAblation,
 }
 
-fn model_row(cfg: &ExpConfig, workload: &Workload, counts: &[u32], iterations: u64) -> ModelAblationRow {
+fn model_row(
+    cfg: &ExpConfig,
+    workload: &Workload,
+    counts: &[u32],
+    iterations: u64,
+) -> ModelAblationRow {
     let w = workload.clone().with_iterations(iterations);
     let profile = profile_workload(&w, cfg.m4(), cfg.seed);
     let full = CynthiaModel::new(profile.clone());
@@ -99,9 +104,15 @@ pub fn run(cfg: &ExpConfig) -> Ablations {
         deadline_secs: 3600.0,
         target_loss: 0.7,
     };
-    let with_bounds = plan(&profile, &loss, &cfg.catalog, &goal, &PlannerOptions::default())
-        .map(|p| p.candidates_evaluated)
-        .unwrap_or(0);
+    let with_bounds = plan(
+        &profile,
+        &loss,
+        &cfg.catalog,
+        &goal,
+        &PlannerOptions::default(),
+    )
+    .map(|p| p.candidates_evaluated)
+    .unwrap_or(0);
     let without_bounds = plan(
         &profile,
         &loss,
@@ -181,7 +192,10 @@ mod tests {
         // Bottleneck awareness matters for mnist (CPU-bound PS) and VGG
         // (NIC saturation + queueing).
         let mnist = &a.model_rows[0];
-        assert!(mnist.no_bottleneck_mape > 2.0 * mnist.full_mape, "{mnist:?}");
+        assert!(
+            mnist.no_bottleneck_mape > 2.0 * mnist.full_mape,
+            "{mnist:?}"
+        );
         let vgg = &a.model_rows[2];
         assert!(vgg.no_bottleneck_mape > vgg.full_mape, "{vgg:?}");
         // Bounds shrink the search space by a lot.

@@ -48,7 +48,7 @@ impl ExpConfig {
                 measure: 40,
             },
             quick: true,
-        ..Default::default()
+            ..Default::default()
         }
     }
 

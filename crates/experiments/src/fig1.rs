@@ -8,7 +8,7 @@
 //! * Heterogeneous clusters (⌊n/2⌋ m1.xlarge stragglers) are slower —
 //!   the paper reports up to 84%.
 
-use crate::common::{ExpConfig, Measure, render_table};
+use crate::common::{render_table, ExpConfig, Measure};
 use cynthia_models::Workload;
 use cynthia_train::ClusterSpec;
 use serde::Serialize;

@@ -130,16 +130,10 @@ pub(crate) fn run_goals(
             let cynthia = plan(&profile, &loss, &cfg.catalog, &goal, &opts)
                 .map(|p| execute_plan(cfg, workload, &p, &goal, "Cynthia"))
                 .unwrap_or_else(|| infeasible("Cynthia"));
-            let optimus = plan_with_optimus(
-                &optimus_model,
-                &profile,
-                &loss,
-                &cfg.catalog,
-                &goal,
-                &opts,
-            )
-            .map(|p| execute_plan(cfg, workload, &p, &goal, "Optimus"))
-            .unwrap_or_else(|| infeasible("Optimus"));
+            let optimus =
+                plan_with_optimus(&optimus_model, &profile, &loss, &cfg.catalog, &goal, &opts)
+                    .map(|p| execute_plan(cfg, workload, &p, &goal, "Optimus"))
+                    .unwrap_or_else(|| infeasible("Optimus"));
             GoalRow {
                 workload: workload.id(),
                 deadline_s,
@@ -156,11 +150,7 @@ pub(crate) fn run_goals(
 pub fn run(cfg: &ExpConfig) -> Fig11 {
     let cifar = Workload::cifar10_bsp();
     let resnet = Workload::resnet32_asp().with_sync(SyncMode::Bsp);
-    let mut rows = run_goals(
-        cfg,
-        &cifar,
-        &[(5400.0, 0.8), (7200.0, 0.8), (10800.0, 0.8)],
-    );
+    let mut rows = run_goals(cfg, &cifar, &[(5400.0, 0.8), (7200.0, 0.8), (10800.0, 0.8)]);
     rows.extend(run_goals(
         cfg,
         &resnet,
@@ -199,9 +189,7 @@ pub(crate) fn render_rows(title: &str, rows: &[GoalRow]) -> String {
     format!(
         "{title}\n{}",
         render_table(
-            &[
-                "workload", "goal(s)", "loss", "strategy", "plan", "time(s)", "met", "cost($)"
-            ],
+            &["workload", "goal(s)", "loss", "strategy", "plan", "time(s)", "met", "cost($)"],
             &table
         )
     )

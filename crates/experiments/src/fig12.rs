@@ -21,11 +21,7 @@ pub struct Fig12 {
 /// Runs the target-loss sweep.
 pub fn run(cfg: &ExpConfig) -> Fig12 {
     let cifar = Workload::cifar10_bsp();
-    let rows = run_goals(
-        cfg,
-        &cifar,
-        &[(3600.0, 0.8), (3600.0, 0.7), (3600.0, 0.6)],
-    );
+    let rows = run_goals(cfg, &cifar, &[(3600.0, 0.8), (3600.0, 0.7), (3600.0, 0.6)]);
     Fig12 { rows }
 }
 

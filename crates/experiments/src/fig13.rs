@@ -22,11 +22,7 @@ pub struct Fig13 {
 /// Runs the ASP deadline sweep.
 pub fn run(cfg: &ExpConfig) -> Fig13 {
     let vgg = Workload::vgg19_asp();
-    let rows = run_goals(
-        cfg,
-        &vgg,
-        &[(1800.0, 0.8), (3600.0, 0.8), (5400.0, 0.8)],
-    );
+    let rows = run_goals(cfg, &vgg, &[(1800.0, 0.8), (3600.0, 0.8), (5400.0, 0.8)]);
     Fig13 { rows }
 }
 
@@ -59,6 +55,9 @@ mod tests {
         }
         // Tighter deadlines demand at least as many workers.
         let w: Vec<u32> = f.rows.iter().map(|r| r.cynthia.n_workers).collect();
-        assert!(w[0] >= w[2], "30-min goal should need ≥ workers of 90-min: {w:?}");
+        assert!(
+            w[0] >= w[2],
+            "30-min goal should need ≥ workers of 90-min: {w:?}"
+        );
     }
 }

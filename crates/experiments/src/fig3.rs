@@ -109,7 +109,11 @@ mod tests {
         assert!(last.communication_s > first.communication_s);
         assert!(f.crossover.is_some(), "crossover must appear in 5..=17");
         // Balance point lies strictly inside the sweep.
-        assert!(f.balance_point > 5 && f.balance_point < 17, "{}", f.balance_point);
+        assert!(
+            f.balance_point > 5 && f.balance_point < 17,
+            "{}",
+            f.balance_point
+        );
         // Overlap: total stays below the additive composition. (It can
         // also dip below max(comp, comm): per-iteration communication
         // windows overlap adjacent iterations in the pipelined barrier,

@@ -52,7 +52,10 @@ pub fn run(cfg: &ExpConfig) -> Fig4 {
     let cifar = Workload::cifar10_bsp();
     let resnet = Workload::resnet32_asp();
     Fig4 {
-        cifar10_bsp: [2u32, 4, 8].iter().map(|&n| curve(cfg, &cifar, n)).collect(),
+        cifar10_bsp: [2u32, 4, 8]
+            .iter()
+            .map(|&n| curve(cfg, &cifar, n))
+            .collect(),
         resnet_asp: [4u32, 9].iter().map(|&n| curve(cfg, &resnet, n)).collect(),
     }
 }

@@ -51,7 +51,12 @@ pub struct Fig6 {
     pub cifar_bsp: Panel,
 }
 
-pub(crate) fn panel(cfg: &ExpConfig, workload: &Workload, counts: &[u32], iterations: u64) -> Panel {
+pub(crate) fn panel(
+    cfg: &ExpConfig,
+    workload: &Workload,
+    counts: &[u32],
+    iterations: u64,
+) -> Panel {
     let w = workload.clone().with_iterations(iterations);
     let profile = profile_workload(&w, cfg.m4(), cfg.seed);
     let cynthia = CynthiaModel::new(profile.clone());

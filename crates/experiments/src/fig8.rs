@@ -37,9 +37,7 @@ pub fn run(cfg: &ExpConfig) -> Fig8 {
     let rows = [7u32, 9, 12]
         .iter()
         .map(|&n| {
-            let observed = cfg
-                .time_stats(&w, &ClusterSpec::homogeneous(r3, n, 1))
-                .mean;
+            let observed = cfg.time_stats(&w, &ClusterSpec::homogeneous(r3, n, 1)).mean;
             Row {
                 n_workers: n,
                 observed_s: observed,

@@ -69,20 +69,21 @@ pub fn run(cfg: &ExpConfig) -> Fleet {
             let goal = draw_goal(&workload, &mut rng);
             let cynthia = plan(&profile, &loss, &cfg.catalog, &goal, &opts).map(|p| {
                 let o = execute_plan(cfg, &workload, &p, &goal, "Cynthia");
-                (o.met_deadline && o.achieved_loss <= goal.target_loss * 1.1, o.cost_usd)
+                (
+                    o.met_deadline && o.achieved_loss <= goal.target_loss * 1.1,
+                    o.cost_usd,
+                )
             });
-            let optimus = plan_with_optimus(
-                &optimus_model,
-                &profile,
-                &loss,
-                &cfg.catalog,
-                &goal,
-                &opts,
-            )
-            .map(|p| {
-                let o = execute_plan(cfg, &workload, &p, &goal, "Optimus");
-                (o.met_deadline && o.achieved_loss <= goal.target_loss * 1.1, o.cost_usd)
-            });
+            let optimus =
+                plan_with_optimus(&optimus_model, &profile, &loss, &cfg.catalog, &goal, &opts).map(
+                    |p| {
+                        let o = execute_plan(cfg, &workload, &p, &goal, "Optimus");
+                        (
+                            o.met_deadline && o.achieved_loss <= goal.target_loss * 1.1,
+                            o.cost_usd,
+                        )
+                    },
+                );
             jobs.push(JobOutcome {
                 workload: workload.id(),
                 deadline_s: goal.deadline_secs,

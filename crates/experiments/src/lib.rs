@@ -15,7 +15,6 @@ pub mod ablations;
 pub mod common;
 pub mod extension_gpu;
 pub mod fig1;
-pub mod fleet;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -27,6 +26,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod overhead;
 pub mod sensitivity;
 pub mod ssp;

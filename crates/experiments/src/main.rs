@@ -38,8 +38,8 @@ fn main() {
             ($module:ident, $runner:expr) => {{
                 let result = $runner;
                 let rendered = result.render();
-                let as_json = serde_json::to_string_pretty(&result)
-                    .expect("experiment results serialize");
+                let as_json =
+                    serde_json::to_string_pretty(&result).expect("experiment results serialize");
                 Some((rendered, as_json))
             }};
         }
@@ -70,8 +70,27 @@ fn main() {
     };
 
     let all = [
-        "table1", "fig1", "table2", "fig2", "fig3", "fig4", "table4", "fig6", "fig7", "fig8",
-        "fig9", "fig10", "fig11", "fig12", "fig13", "overhead", "ablations", "gpu", "fleet", "sensitivity", "ssp",
+        "table1",
+        "fig1",
+        "table2",
+        "fig2",
+        "fig3",
+        "fig4",
+        "table4",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "overhead",
+        "ablations",
+        "gpu",
+        "fleet",
+        "sensitivity",
+        "ssp",
     ];
 
     if name == "all" {

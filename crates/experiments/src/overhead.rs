@@ -41,7 +41,13 @@ pub fn run(cfg: &ExpConfig) -> Overhead {
                 target_loss: (w.convergence.beta1 * 1.6).max(0.2),
             };
             let t0 = std::time::Instant::now();
-            let p = plan(&profile, &loss, &cfg.catalog, &goal, &PlannerOptions::default());
+            let p = plan(
+                &profile,
+                &loss,
+                &cfg.catalog,
+                &goal,
+                &PlannerOptions::default(),
+            );
             let planning_ms = t0.elapsed().as_secs_f64() * 1e3;
             Row {
                 workload: w.id(),
@@ -72,7 +78,12 @@ impl Overhead {
         format!(
             "Sec. 5.3: Cynthia runtime overhead\n{}",
             render_table(
-                &["workload", "profiling(s,virtual)", "planning(ms,real)", "candidates"],
+                &[
+                    "workload",
+                    "profiling(s,virtual)",
+                    "planning(ms,real)",
+                    "candidates"
+                ],
                 &rows
             )
         )
@@ -106,7 +117,11 @@ mod tests {
             );
         }
         // mnist profiles fastest (the paper's 0.9 s).
-        let mnist = o.rows.iter().find(|r| r.workload.contains("mnist")).unwrap();
+        let mnist = o
+            .rows
+            .iter()
+            .find(|r| r.workload.contains("mnist"))
+            .unwrap();
         for r in &o.rows {
             assert!(mnist.profiling_s <= r.profiling_s, "{}", r.workload);
         }

@@ -98,7 +98,14 @@ impl Ssp {
              Slack buys no wall-clock in an overlap-pipelined PS system while the\n\
              convergence penalty is real — provisioning, not staleness, is the lever.\n",
             render_table(
-                &["scenario", "slack", "time(s)", "mean stale", "max stale", "final loss"],
+                &[
+                    "scenario",
+                    "slack",
+                    "time(s)",
+                    "mean stale",
+                    "max stale",
+                    "final loss"
+                ],
                 &rows
             )
         )

@@ -85,7 +85,11 @@ mod tests {
     fn table1_has_four_rows_matching_the_paper() {
         let t = super::run();
         assert_eq!(t.rows.len(), 4);
-        let mnist = t.rows.iter().find(|r| r.workload.contains("mnist")).unwrap();
+        let mnist = t
+            .rows
+            .iter()
+            .find(|r| r.workload.contains("mnist"))
+            .unwrap();
         assert_eq!(mnist.iterations, 10_000);
         assert_eq!(mnist.batch_size, 512);
         assert_eq!(mnist.sync, "BSP");

@@ -74,16 +74,20 @@ impl Table2 {
                     fmt_pct(r.homo_ps_util),
                     fmt_pct(r.homo_worker_util),
                     r.hetero_ps_util.map(fmt_pct).unwrap_or("N/A".into()),
-                    r.hetero_m4_worker_util
-                        .map(fmt_pct)
-                        .unwrap_or("N/A".into()),
+                    r.hetero_m4_worker_util.map(fmt_pct).unwrap_or("N/A".into()),
                 ]
             })
             .collect();
         format!(
             "Table 2: mnist DNN / BSP average CPU utilization\n{}",
             render_table(
-                &["", "homo PS", "homo worker", "hetero PS", "hetero worker(m4)"],
+                &[
+                    "",
+                    "homo PS",
+                    "homo worker",
+                    "hetero PS",
+                    "hetero worker(m4)"
+                ],
                 &rows
             )
         )

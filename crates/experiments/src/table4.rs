@@ -50,9 +50,7 @@ impl Table4 {
             .iter()
             .map(|p| {
                 let paper = PAPER.iter().find(|(id, ..)| *id == p.workload_id);
-                let paper_str = |v: Option<f64>| {
-                    v.map(|x| format!("{x:.2}")).unwrap_or("-".into())
-                };
+                let paper_str = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or("-".into());
                 vec![
                     p.workload_id.clone(),
                     format!("{:.3}", p.w_iter_gflops),
@@ -70,15 +68,8 @@ impl Table4 {
             "Table 4: 30-iteration profiling on m4.xlarge (ours vs paper)\n{}",
             render_table(
                 &[
-                    "workload",
-                    "w_iter",
-                    "(paper)",
-                    "g_param",
-                    "(paper)",
-                    "c_prof",
-                    "(paper)",
-                    "b_prof",
-                    "(paper)",
+                    "workload", "w_iter", "(paper)", "g_param", "(paper)", "c_prof", "(paper)",
+                    "b_prof", "(paper)",
                 ],
                 &rows
             )
@@ -100,7 +91,11 @@ mod tests {
         for (id, _, g_paper, _, _) in PAPER {
             let p = t.get(id).unwrap_or_else(|| panic!("{id} missing"));
             let err = (p.g_param_mb - g_paper).abs() / g_paper;
-            assert!(err < 0.25, "{id}: g_param {} vs paper {g_paper}", p.g_param_mb);
+            assert!(
+                err < 0.25,
+                "{id}: g_param {} vs paper {g_paper}",
+                p.g_param_mb
+            );
         }
     }
 

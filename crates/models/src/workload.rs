@@ -290,13 +290,25 @@ mod tests {
         let t1 = Workload::table1();
         assert_eq!(t1.len(), 4);
         let r = &t1[0];
-        assert_eq!((r.iterations, r.batch_size, r.sync), (3000, 128, SyncMode::Asp));
+        assert_eq!(
+            (r.iterations, r.batch_size, r.sync),
+            (3000, 128, SyncMode::Asp)
+        );
         let m = &t1[1];
-        assert_eq!((m.iterations, m.batch_size, m.sync), (10000, 512, SyncMode::Bsp));
+        assert_eq!(
+            (m.iterations, m.batch_size, m.sync),
+            (10000, 512, SyncMode::Bsp)
+        );
         let v = &t1[2];
-        assert_eq!((v.iterations, v.batch_size, v.sync), (1000, 128, SyncMode::Asp));
+        assert_eq!(
+            (v.iterations, v.batch_size, v.sync),
+            (1000, 128, SyncMode::Asp)
+        );
         let c = &t1[3];
-        assert_eq!((c.iterations, c.batch_size, c.sync), (10000, 512, SyncMode::Bsp));
+        assert_eq!(
+            (c.iterations, c.batch_size, c.sync),
+            (10000, 512, SyncMode::Bsp)
+        );
     }
 
     #[test]

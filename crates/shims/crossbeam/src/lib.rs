@@ -1,0 +1,53 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; it is
+//! implemented on top of `std::thread::scope` (stable since 1.63). The one
+//! behavioral difference: a panicking child makes `scope` itself panic
+//! (std semantics) instead of returning `Err` — every call site here
+//! immediately `.expect()`s the result, so the observable behavior (test
+//! failure with the panic message) is identical.
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`: spawn closures receive
+    /// `&Scope` so they can spawn recursively.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; returns `Ok` with its result once all
+    /// spawned threads have joined.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_stack_data() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+}

@@ -1,0 +1,669 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` built
+//! directly on `proc_macro` (the build environment cannot fetch `syn` /
+//! `quote`). It parses the subset of Rust item grammar this workspace
+//! actually uses:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple/newtype, and struct variants;
+//! * lifetime/type generic parameters (bounds are stripped for the impl
+//!   target);
+//! * container attribute `#[serde(rename_all = "snake_case")]` and field
+//!   attribute `#[serde(rename = "...")]`.
+//!
+//! Generated impls target the shim `serde`'s value-tree traits
+//! (`Serialize::to_value` / `Deserialize::from_value`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// A tiny item model.
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    rename: Option<String>,
+}
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    rename: Option<String>,
+    body: Body,
+}
+
+enum Kind {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter list with bounds, e.g. `<'a, T: Clone>`, or "".
+    generics_decl: String,
+    /// Generic arguments for the impl target, e.g. `<'a, T>`, or "".
+    generics_use: String,
+    rename_all: Option<String>,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/// Extracts `rename`/`rename_all` from a `#[serde(...)]` attribute body.
+/// Returns `(key, value)` pairs of string-literal assignments.
+fn parse_serde_attr(tokens: &[TokenTree]) -> Vec<(String, String)> {
+    // Expect: Ident("serde") Group(Paren: key = "value", ...)
+    let mut out = Vec::new();
+    if tokens.len() != 2 {
+        return out;
+    }
+    let is_serde = matches!(&tokens[0], TokenTree::Ident(i) if i.to_string() == "serde");
+    if !is_serde {
+        return out;
+    }
+    if let TokenTree::Group(g) = &tokens[1] {
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let mut i = 0;
+        while i < inner.len() {
+            if let (Some(TokenTree::Ident(key)), Some(TokenTree::Punct(eq)), Some(lit)) =
+                (inner.get(i), inner.get(i + 1), inner.get(i + 2))
+            {
+                if eq.as_char() == '=' {
+                    let raw = lit.to_string();
+                    let val = raw.trim_matches('"').to_string();
+                    out.push((key.to_string(), val));
+                    i += 3;
+                    // Skip a trailing comma if present.
+                    if matches!(inner.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Consumes leading attributes starting at `*i`; returns serde key/values.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, String)> {
+    let mut kv = Vec::new();
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                kv.extend(parse_serde_attr(&inner));
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    kv
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn eat_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Renders a token slice back to source text (TokenStream's Display
+/// produces valid Rust, including lifetimes).
+fn render(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// Parses `<...>` generics at `*i` (if any) into (decl, use) strings.
+fn eat_generics(tokens: &[TokenTree], i: &mut usize) -> (String, String) {
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return (String::new(), String::new());
+    }
+    *i += 1; // consume '<'
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(t.clone());
+        *i += 1;
+    }
+    // Split params on top-level commas.
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut d = 0usize;
+    for t in &inner {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => d += 1,
+                '>' => d = d.saturating_sub(1),
+                ',' if d == 0 => {
+                    params.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        params.last_mut().unwrap().push(t.clone());
+    }
+    params.retain(|p| !p.is_empty());
+
+    let mut uses = Vec::new();
+    for p in &params {
+        match p.first() {
+            // Lifetime: `'a ...` — take the quote and the ident.
+            Some(TokenTree::Punct(q)) if q.as_char() == '\'' => {
+                if let Some(TokenTree::Ident(id)) = p.get(1) {
+                    uses.push(format!("'{id}"));
+                }
+            }
+            // `const N: usize` — name is the second token.
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "const" => {
+                if let Some(TokenTree::Ident(id)) = p.get(1) {
+                    uses.push(id.to_string());
+                }
+            }
+            // Plain type parameter, possibly with bounds/defaults.
+            Some(TokenTree::Ident(id)) => uses.push(id.to_string()),
+            _ => {}
+        }
+    }
+    (
+        format!("<{}>", render(&inner)),
+        format!("<{}>", uses.join(", ")),
+    )
+}
+
+/// Parses named fields from the token stream of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let kv = eat_attrs(&tokens, &mut i);
+        eat_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        // Expect ':'; then skip the type until a top-level ','.
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            break;
+        }
+        i += 1;
+        let mut depth = 0usize;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let rename = kv
+            .iter()
+            .find(|(k, _)| k == "rename")
+            .map(|(_, v)| v.clone());
+        fields.push(Field { name, rename });
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated elements of a paren group
+/// (tuple-struct / tuple-variant arity).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    n += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        n -= 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let kv = eat_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let b = Body::Named(parse_named_fields(g.stream()));
+                i += 1;
+                b
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let b = Body::Tuple(tuple_arity(g.stream()));
+                i += 1;
+                b
+            }
+            _ => Body::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        let rename = kv
+            .iter()
+            .find(|(k, _)| k == "rename")
+            .map(|(_, v)| v.clone());
+        variants.push(Variant { name, rename, body });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container_kv = eat_attrs(&tokens, &mut i);
+    eat_vis(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    i += 1;
+    let (generics_decl, generics_use) = eat_generics(&tokens, &mut i);
+    // Skip a `where` clause if one appears before the body.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Body::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Body::Tuple(tuple_arity(g.stream())))
+            }
+            _ => Kind::Struct(Body::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    };
+    let rename_all = container_kv
+        .iter()
+        .find(|(k, _)| k == "rename_all")
+        .map(|(_, v)| v.clone());
+    Input {
+        name,
+        generics_decl,
+        generics_use,
+        rename_all,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Name mangling for rename_all.
+// ---------------------------------------------------------------------------
+
+fn apply_rename_all(style: &str, name: &str) -> String {
+    match style {
+        "snake_case" => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        "lowercase" => name.to_ascii_lowercase(),
+        "UPPERCASE" => name.to_ascii_uppercase(),
+        "camelCase" => {
+            let mut cs = name.chars();
+            match cs.next() {
+                Some(f) => f.to_ascii_lowercase().to_string() + cs.as_str(),
+                None => String::new(),
+            }
+        }
+        _ => name.to_string(),
+    }
+}
+
+fn effective_name(rename: &Option<String>, rename_all: &Option<String>, name: &str) -> String {
+    if let Some(r) = rename {
+        return r.clone();
+    }
+    if let Some(style) = rename_all {
+        return apply_rename_all(style, name);
+    }
+    name.to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let Input {
+        name,
+        generics_decl,
+        generics_use,
+        rename_all,
+        kind,
+    } = &item;
+
+    let body = match kind {
+        Kind::Struct(Body::Named(fields)) => {
+            let mut pushes = String::new();
+            for f in fields {
+                let key = effective_name(&f.rename, &None, &f.name);
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{key}\"), \
+                     ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Kind::Struct(Body::Tuple(1)) => {
+            // Newtype struct: transparent, like serde.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Kind::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Body::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = effective_name(&v.rename, rename_all, &v.name);
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{} => ::serde::Value::Str(::std::string::String::from(\"{key}\")),\n",
+                        v.name
+                    )),
+                    Body::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{}(v0) => ::serde::Value::Object(vec![(\
+                         ::std::string::String::from(\"{key}\"), \
+                         ::serde::Serialize::to_value(v0))]),\n",
+                        v.name
+                    )),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{}({}) => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{key}\"), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            v.name,
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fk = effective_name(&f.rename, &None, &f.name);
+                                format!(
+                                    "(::std::string::String::from(\"{fk}\"), \
+                                     ::serde::Serialize::to_value({}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{} {{ {} }} => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{key}\"), \
+                             ::serde::Value::Object(vec![{}]))]),\n",
+                            v.name,
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{generics_decl} ::serde::Serialize for {name}{generics_use} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let Input {
+        name,
+        generics_decl,
+        generics_use,
+        rename_all,
+        kind,
+    } = &item;
+
+    let body = match kind {
+        Kind::Struct(Body::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let key = effective_name(&f.rename, &None, &f.name);
+                    format!(
+                        "{}: ::serde::Deserialize::from_value(\
+                         v.get(\"{key}\").unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| ::serde::DeError::custom(format!(\
+                         \"field `{key}` of `{name}`: {{}}\", e.0)))?",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Struct(Body::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         arr.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Body::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let key = effective_name(&v.rename, rename_all, &v.name);
+                match &v.body {
+                    Body::Unit => unit_arms.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{}),\n",
+                        v.name
+                    )),
+                    Body::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n",
+                        v.name
+                    )),
+                    Body::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(\
+                                     arr.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array variant\"))?;\n\
+                             ::std::result::Result::Ok({name}::{}({}))\n}}\n",
+                            v.name,
+                            items.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fk = effective_name(&f.rename, &None, &f.name);
+                                format!(
+                                    "{}: ::serde::Deserialize::from_value(\
+                                     inner.get(\"{fk}\").unwrap_or(&::serde::Value::Null))?",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{} {{ {} }}),\n",
+                            v.name,
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (k, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match k.as_str() {{\n\
+                 {data_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                 \"expected variant of `{name}`, found {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{generics_decl} ::serde::Deserialize for {name}{generics_use} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{\n\
+             let _ = v;\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated Deserialize impl parses")
+}

@@ -135,7 +135,11 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `t` is in the past or beyond the next pending event.
     pub fn advance_to(&mut self, t: Time) {
-        assert!(t >= self.now, "advance_to into the past: {t} < {}", self.now);
+        assert!(
+            t >= self.now,
+            "advance_to into the past: {t} < {}",
+            self.now
+        );
         if let Some(next) = self.peek_time() {
             assert!(
                 t <= next + crate::EPS,

@@ -220,6 +220,25 @@ impl FluidSystem {
         Some(remaining)
     }
 
+    /// Cancels every active flow whose tag satisfies `pred` (the revocation
+    /// path: a revoked worker's in-flight pushes and pulls vanish with the
+    /// instance). Returns the `(tag, remaining volume)` of cancelled flows
+    /// in slot order, which is deterministic.
+    pub fn cancel_flows_where(&mut self, mut pred: impl FnMut(u64) -> bool) -> Vec<(u64, f64)> {
+        let victims: Vec<(u32, u64, f64)> = self
+            .iter_flows()
+            .filter(|(_, f)| pred(f.tag))
+            .map(|(idx, f)| (idx, f.tag, f.remaining))
+            .collect();
+        victims
+            .into_iter()
+            .map(|(idx, tag, remaining)| {
+                self.release(idx);
+                (tag, remaining)
+            })
+            .collect()
+    }
+
     fn release(&mut self, idx: u32) {
         let slot = &mut self.slots[idx as usize];
         if let Slot::Occupied { gen, .. } = slot {
@@ -574,6 +593,27 @@ mod tests {
         assert!(approx(rem, 20.0));
         assert_eq!(sys.active_flows(), 0);
         assert_eq!(sys.cancel_flow(f), None, "stale id must not resolve");
+    }
+
+    #[test]
+    fn cancel_where_takes_matching_flows_only() {
+        let mut sys = FluidSystem::new();
+        let r = sys.add_resource(10.0, "link");
+        sys.start_flow(FlowSpec::new(vec![r], 30.0, 10));
+        sys.start_flow(FlowSpec::new(vec![r], 30.0, 21));
+        sys.start_flow(FlowSpec::new(vec![r], 30.0, 12));
+        sys.advance(1.0);
+        // Even tags belong to the "revoked worker".
+        let gone = sys.cancel_flows_where(|t| t % 2 == 0);
+        let tags: Vec<u64> = gone.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, vec![10, 12], "slot order, matching only");
+        for (_, rem) in &gone {
+            assert!((rem - (30.0 - 10.0 / 3.0)).abs() < 1e-9);
+        }
+        assert_eq!(sys.active_flows(), 1);
+        // The survivor now gets the whole link.
+        let (_, dt) = sys.next_completion().unwrap();
+        assert!((dt - (30.0 - 10.0 / 3.0) / 10.0).abs() < 1e-9);
     }
 
     #[test]

@@ -105,10 +105,7 @@ mod tests {
         let mut j = Jitter::new(7, "t", 0, 0.05);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| j.factor()).sum::<f64>() / n as f64;
-        assert!(
-            (mean - 1.0).abs() < 0.01,
-            "jitter mean drifted: {mean}"
-        );
+        assert!((mean - 1.0).abs() < 0.01, "jitter mean drifted: {mean}");
     }
 
     #[test]

@@ -25,7 +25,13 @@ fn scenario() -> impl Strategy<Value = Scenario> {
     })
 }
 
-fn build(s: &Scenario) -> (FluidSystem, Vec<ResourceId>, Vec<cynthia_sim::fluid::FlowId>) {
+fn build(
+    s: &Scenario,
+) -> (
+    FluidSystem,
+    Vec<ResourceId>,
+    Vec<cynthia_sim::fluid::FlowId>,
+) {
     let mut sys = FluidSystem::new();
     let rids: Vec<ResourceId> = s
         .capacities

@@ -63,9 +63,7 @@ impl ClusterSpec {
 
     /// True if every worker is the same instance type.
     pub fn is_homogeneous(&self) -> bool {
-        self.workers
-            .windows(2)
-            .all(|w| w[0].name == w[1].name)
+        self.workers.windows(2).all(|w| w[0].name == w[1].name)
     }
 
     /// Indices of workers of the given type name (used to report per-type
@@ -113,12 +111,7 @@ mod tests {
     #[test]
     fn heterogeneous_with_one_worker_has_no_straggler() {
         let cat = default_catalog();
-        let c = ClusterSpec::heterogeneous(
-            cat.expect("m4.xlarge"),
-            cat.expect("m1.xlarge"),
-            1,
-            1,
-        );
+        let c = ClusterSpec::heterogeneous(cat.expect("m4.xlarge"), cat.expect("m1.xlarge"), 1, 1);
         assert_eq!(c.n_workers(), 1);
         assert!(c.is_homogeneous());
     }

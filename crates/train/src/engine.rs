@@ -19,6 +19,17 @@
 //! repeat. Training ends when the global commit count reaches the target.
 //! The staleness of each commit (updates by other workers between this
 //! worker's pull and its commit) is recorded.
+//!
+//! **Revocations** — [`simulate_disrupted`] additionally injects a schedule
+//! of [`Disruption`]s (spot-instance revocations from the elastic layer).
+//! When a worker is revoked its in-flight flows are cancelled and its
+//! partial iteration is lost. BSP stalls at the barrier until the worker
+//! is repaired; ASP degrades gracefully (the surviving workers keep
+//! committing). A repaired worker pays a checkpoint-restore cost before
+//! resuming: it re-pulls the full parameter set from the PS fleet. A
+//! disruption without a rejoin time shrinks the fleet permanently — the
+//! barrier re-forms over the survivors and the global batch is re-split
+//! across them.
 
 use crate::cluster::ClusterSpec;
 use crate::config::SimConfig;
@@ -39,10 +50,61 @@ pub struct TrainJob<'a> {
     pub config: SimConfig,
 }
 
+/// A revocation event injected into a training run: worker `worker` is
+/// revoked at virtual time `at` and, if `rejoin_at` is set, a replacement
+/// instance joins the cluster (and restores from the PS checkpoint) at that
+/// time. `rejoin_at: None` removes the worker permanently (fleet shrink).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disruption {
+    pub worker: usize,
+    pub at: f64,
+    pub rejoin_at: Option<f64>,
+}
+
 /// Runs the job to completion and reports every observable the paper
 /// measures.
 pub fn simulate(job: &TrainJob) -> TrainingReport {
     Engine::new(job).run().0
+}
+
+/// Like [`simulate`], with a schedule of worker revocations injected (see
+/// the module docs). Disruptions may arrive in any order; events at the
+/// same instant apply in schedule order.
+///
+/// # Panics
+/// Panics if a disruption names a worker outside the cluster, rejoins
+/// before it revokes, or if the config requests fast-forward extrapolation
+/// (revocations break the steady-state assumption it relies on).
+pub fn simulate_disrupted(job: &TrainJob, disruptions: &[Disruption]) -> TrainingReport {
+    assert!(
+        disruptions.is_empty() || job.config.fast_forward.is_none(),
+        "disruption schedules require full-detail simulation (no fast_forward)"
+    );
+    let mut engine = Engine::new(job);
+    for d in disruptions {
+        assert!(
+            d.worker < engine.n,
+            "disruption names worker {} of {}",
+            d.worker,
+            engine.n
+        );
+        assert!(d.at >= 0.0, "disruption at negative time");
+        if let Some(r) = d.rejoin_at {
+            assert!(
+                r >= d.at,
+                "worker {} rejoins before it is revoked",
+                d.worker
+            );
+        }
+        engine.queue.schedule_at(
+            d.at,
+            Ev::Revoke {
+                worker: d.worker,
+                rejoin_at: d.rejoin_at,
+            },
+        );
+    }
+    engine.run().0
 }
 
 /// Like [`simulate`], additionally recording an execution trace of up to
@@ -62,6 +124,8 @@ pub fn simulate_traced(job: &TrainJob, max_spans: usize) -> (TrainingReport, Tra
 const KIND_PUSH: u64 = 0;
 const KIND_APPLY: u64 = 1;
 const KIND_PULL: u64 = 2;
+/// Checkpoint restore: full parameter re-pull paid by a repaired worker.
+const KIND_RESTORE: u64 = 3;
 
 fn tag(kind: u64, worker: usize, chunk: usize, iter: u64) -> u64 {
     debug_assert!(worker < (1 << 14) && chunk < (1 << 8) && iter < (1 << 40));
@@ -77,10 +141,31 @@ fn untag(t: u64) -> (u64, usize, usize, u64) {
     )
 }
 
-/// Queue events: compute-segment completions.
+/// Queue events: compute-segment completions and fleet disruptions.
 #[derive(Debug, Clone, Copy)]
-struct SegDone {
-    worker: usize,
+enum Ev {
+    /// A worker finished a compute segment. `inc` is the worker
+    /// incarnation the segment belongs to: a revocation bumps the
+    /// incarnation, so segments of the lost instance are discarded when
+    /// they fire.
+    Seg { worker: usize, inc: u32 },
+    /// The worker's instance is revoked (spot reclaim).
+    Revoke {
+        worker: usize,
+        rejoin_at: Option<f64>,
+    },
+    /// A replacement instance for the worker slot joins the cluster.
+    Rejoin { worker: usize },
+}
+
+/// Per-iteration BSP barrier progress.
+#[derive(Debug, Default, Clone)]
+struct IterProgress {
+    /// Per-chunk bitmask of workers whose gradient has been applied.
+    /// Idempotent under the re-pushes a restored worker performs.
+    applied: Vec<u128>,
+    /// Whether the chunk's updated parameters have been broadcast.
+    broadcast: Vec<bool>,
 }
 
 #[derive(Debug)]
@@ -91,6 +176,14 @@ struct WorkerState {
     seg: usize,
     computing: bool,
     done: bool,
+    /// Instance revoked, replacement not yet joined.
+    absent: bool,
+    /// Permanently removed from the fleet (shrink repair).
+    departed: bool,
+    /// Rejoined and currently re-pulling the parameter checkpoint.
+    restoring: bool,
+    /// Bumped on every revocation; stale compute events are discarded.
+    inc: u32,
     /// BSP: parameter version available per chunk (segment `l` of
     /// iteration `i` requires `chunk_version[l] >= i`).
     chunk_version: Vec<u64>,
@@ -123,17 +216,26 @@ struct Engine<'a> {
 
     chunk_mb: Vec<f64>,
     chunk_ps: Vec<usize>,
+    /// Latest broadcast parameter version per chunk — the version a
+    /// checkpoint restore hands a repaired worker.
+    chunk_latest: Vec<u64>,
 
-    queue: EventQueue<SegDone>,
+    queue: EventQueue<Ev>,
     fluid: FluidSystem,
     wk_nic: Vec<ResourceId>,
     ps_nic: Vec<ResourceId>,
     ps_cpu: Vec<ResourceId>,
 
     workers: Vec<WorkerState>,
+    /// Bitmask of workers still in the fleet (departed workers cleared).
+    active_mask: u128,
+    /// Popcount of `active_mask`.
+    n_active: usize,
+    revocations: u32,
+    repairs: u32,
 
     // BSP progress
-    applied: HashMap<u64, Vec<u32>>,
+    applied: HashMap<u64, IterProgress>,
     iterations_done: u64,
     last_completion: f64,
     warmup_time: f64,
@@ -183,6 +285,7 @@ impl<'a> Engine<'a> {
         let n = cluster.workers.len();
         let n_ps = cluster.ps.len();
         assert!(n > 0 && n_ps > 0, "degenerate cluster");
+        assert!(n <= 128, "the engine tracks barrier membership in a u128");
 
         // Parameter shards: equal split (real PS implementations shard
         // large tensors across servers). Multi-PS clusters get at least
@@ -228,6 +331,10 @@ impl<'a> Engine<'a> {
                 seg: 0,
                 computing: false,
                 done: false,
+                absent: false,
+                departed: false,
+                restoring: false,
+                inc: 0,
                 chunk_version: vec![0; l],
                 compute_busy: 0.0,
                 cur_iter_comp: 0.0,
@@ -258,12 +365,21 @@ impl<'a> Engine<'a> {
             warmup,
             chunk_mb,
             chunk_ps,
+            chunk_latest: vec![0; l],
             queue: EventQueue::new(),
             fluid,
             wk_nic,
             ps_nic,
             ps_cpu,
             workers,
+            active_mask: if n == 128 {
+                u128::MAX
+            } else {
+                (1u128 << n) - 1
+            },
+            n_active: n,
+            revocations: 0,
+            repairs: 0,
             applied: HashMap::new(),
             iterations_done: 0,
             last_completion: 0.0,
@@ -325,11 +441,12 @@ impl<'a> Engine<'a> {
     }
 
     /// Per-iteration compute work for one worker, GFLOP (Eq. 4's numerator
-    /// split: BSP divides the global batch across workers, ASP computes a
-    /// full batch per worker-iteration).
+    /// split: BSP divides the global batch across the workers *currently in
+    /// the fleet* — after a shrink the survivors re-split the global batch —
+    /// ASP computes a full batch per worker-iteration).
     fn compute_gflops_per_worker(&self) -> f64 {
         match self.sync {
-            SyncMode::Bsp => self.w.w_iter_gflops / self.n as f64,
+            SyncMode::Bsp => self.w.w_iter_gflops / self.n_active as f64,
             SyncMode::Asp => self.w.w_iter_gflops,
         }
     }
@@ -357,8 +474,7 @@ impl<'a> Engine<'a> {
                         // loading, pod startup); without this, zero-jitter
                         // runs stay phase-locked and serialize all pushes —
                         // an artifact no real cluster exhibits.
-                        let base =
-                            self.compute_gflops_per_worker() / self.worker_rate(j);
+                        let base = self.compute_gflops_per_worker() / self.worker_rate(j);
                         let stagger = base * j as f64 / self.n as f64;
                         self.start_asp_compute(j, stagger);
                     } else {
@@ -401,7 +517,7 @@ impl<'a> Engine<'a> {
                             self.on_flow_done(t);
                         }
                         let (_, ev) = self.queue.pop().expect("peeked event vanished");
-                        self.on_seg_done(ev.worker);
+                        self.on_event(ev);
                     }
                 }
                 (None, Some((_, dt))) => {
@@ -476,6 +592,9 @@ impl<'a> Engine<'a> {
     fn try_start_segment(&mut self, j: usize) {
         let l = self.workers[j].seg;
         let needed_version = self.workers[j].iter;
+        if self.workers[j].absent || self.workers[j].restoring {
+            return;
+        }
         if self.workers[j].done
             || self.workers[j].computing
             || needed_version >= self.horizon && self.sync == SyncMode::Bsp && l == 0
@@ -509,13 +628,24 @@ impl<'a> Engine<'a> {
         self.workers[j].cur_iter_comp += dur;
         let now = self.queue.now();
         self.trace_compute(j, needed_version, now, now + dur);
-        self.queue.schedule_after(dur, SegDone { worker: j });
+        let inc = self.workers[j].inc;
+        self.queue.schedule_after(dur, Ev::Seg { worker: j, inc });
     }
 
-    fn on_seg_done(&mut self, j: usize) {
-        match self.sync {
-            SyncMode::Bsp => self.on_bsp_seg_done(j),
-            SyncMode::Asp => self.on_asp_compute_done(j),
+    fn on_event(&mut self, ev: Ev) {
+        match ev {
+            Ev::Seg { worker, inc } => {
+                // A segment of a revoked incarnation: the work is lost.
+                if self.workers[worker].inc != inc {
+                    return;
+                }
+                match self.sync {
+                    SyncMode::Bsp => self.on_bsp_seg_done(worker),
+                    SyncMode::Asp => self.on_asp_compute_done(worker),
+                }
+            }
+            Ev::Revoke { worker, rejoin_at } => self.on_revoke(worker, rejoin_at),
+            Ev::Rejoin { worker } => self.on_rejoin(worker),
         }
     }
 
@@ -556,34 +686,27 @@ impl<'a> Engine<'a> {
                 // Gradient arrived: PS ingests/applies it (CPU work).
                 let k = self.chunk_ps[l];
                 let work = self.w.ps_apply_gflops_per_mb * self.chunk_mb[l];
-                self.launch_flow(
-                    vec![self.ps_cpu[k]],
-                    work,
-                    tag(KIND_APPLY, j, l, iter),
-                );
+                self.launch_flow(vec![self.ps_cpu[k]], work, tag(KIND_APPLY, j, l, iter));
             }
             (SyncMode::Bsp, KIND_APPLY) => {
                 self.comm_end(iter);
                 let l_total = self.chunk_mb.len();
-                let counts = self
-                    .applied
-                    .entry(iter)
-                    .or_insert_with(|| vec![0; l_total]);
-                counts[l] += 1;
-                let chunk_complete = counts[l] as usize == self.n;
-                let iter_complete =
-                    chunk_complete && counts.iter().all(|c| *c as usize == self.n);
+                let mask = self.active_mask;
+                let prog = self.applied.entry(iter).or_insert_with(|| IterProgress {
+                    applied: vec![0; l_total],
+                    broadcast: vec![false; l_total],
+                });
+                // Idempotent: a restored worker re-pushes chunks it already
+                // delivered before the revocation.
+                prog.applied[l] |= 1u128 << j;
+                let chunk_complete = !prog.broadcast[l] && (prog.applied[l] & mask) == mask;
+                if chunk_complete {
+                    prog.broadcast[l] = true;
+                }
+                let iter_complete = prog.broadcast.iter().all(|b| *b);
                 if chunk_complete {
                     // Broadcast parameter version iter+1, chunk l.
-                    for dst in 0..self.n {
-                        self.comm_begin(iter);
-                        let k = self.chunk_ps[l];
-                        self.launch_flow(
-                            vec![self.ps_nic[k], self.wk_nic[dst]],
-                            self.chunk_mb[l],
-                            tag(KIND_PULL, dst, l, iter),
-                        );
-                    }
+                    self.broadcast_chunk(iter, l);
                 }
                 if iter_complete {
                     self.applied.remove(&iter);
@@ -592,17 +715,14 @@ impl<'a> Engine<'a> {
             }
             (SyncMode::Bsp, KIND_PULL) => {
                 self.comm_end(iter);
-                self.workers[j].chunk_version[l] = iter + 1;
+                let v = &mut self.workers[j].chunk_version[l];
+                *v = (*v).max(iter + 1);
                 self.try_start_segment(j);
             }
             (SyncMode::Asp, KIND_PUSH) => {
                 let k = self.chunk_ps[l];
                 let work = self.w.ps_apply_gflops_per_mb * self.chunk_mb[l];
-                self.launch_flow(
-                    vec![self.ps_cpu[k]],
-                    work,
-                    tag(KIND_APPLY, j, l, iter),
-                );
+                self.launch_flow(vec![self.ps_cpu[k]], work, tag(KIND_APPLY, j, l, iter));
             }
             (SyncMode::Asp, KIND_APPLY) => {
                 self.workers[j].pending_applies -= 1;
@@ -616,7 +736,31 @@ impl<'a> Engine<'a> {
                     self.on_asp_pulled(j);
                 }
             }
+            (_, KIND_RESTORE) => {
+                self.workers[j].pending_pulls -= 1;
+                if self.workers[j].pending_pulls == 0 {
+                    self.on_restored(j);
+                }
+            }
             _ => unreachable!("unknown flow kind {kind}"),
+        }
+    }
+
+    /// Ships the freshly-updated chunk `l` of parameter version `iter + 1`
+    /// to every worker currently in the cluster.
+    fn broadcast_chunk(&mut self, iter: u64, l: usize) {
+        self.chunk_latest[l] = self.chunk_latest[l].max(iter + 1);
+        let k = self.chunk_ps[l];
+        for dst in 0..self.n {
+            if self.workers[dst].absent || self.workers[dst].departed {
+                continue;
+            }
+            self.comm_begin(iter);
+            self.launch_flow(
+                vec![self.ps_nic[k], self.wk_nic[dst]],
+                self.chunk_mb[l],
+                tag(KIND_PULL, dst, l, iter),
+            );
         }
     }
 
@@ -658,6 +802,190 @@ impl<'a> Engine<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Fleet disruptions (spot revocations, repairs, shrinks)
+
+    fn on_revoke(&mut self, j: usize, rejoin_at: Option<f64>) {
+        if self.done_time.is_some() {
+            return;
+        }
+        let w = &self.workers[j];
+        if w.absent || w.departed || w.done {
+            // Already lost, or already finished its share of the work:
+            // revoking the instance no longer affects the computation.
+            return;
+        }
+        self.revocations += 1;
+        let was_computing = self.workers[j].computing;
+        {
+            let w = &mut self.workers[j];
+            // Stale compute events of the lost instance are discarded when
+            // they fire.
+            w.inc += 1;
+            w.computing = false;
+            w.restoring = false;
+            w.cur_iter_comp = 0.0;
+        }
+        if self.sync == SyncMode::Asp {
+            let w = &mut self.workers[j];
+            if was_computing || w.pending_applies > 0 {
+                // The started-but-uncommitted cycle is lost; hand it back
+                // so the update target stays reachable.
+                self.started -= 1;
+            }
+            w.pending_applies = 0;
+            w.pending_pulls = 0;
+        } else {
+            self.workers[j].pending_pulls = 0;
+        }
+        // Cancel the worker's in-flight flows. Under BSP, gradients already
+        // delivered to a PS keep applying (PS-side work survives the worker
+        // and the barrier bits are idempotent), so KIND_APPLY flows are
+        // spared even though they carry the worker id. Under ASP the whole
+        // uncommitted cycle was handed back above, so its applies go too.
+        let is_asp = self.sync == SyncMode::Asp;
+        let cancelled = self.fluid.cancel_flows_where(|t| {
+            let (kind, wj, _, _) = untag(t);
+            wj == j && (is_asp || kind != KIND_APPLY)
+        });
+        for (t, _remaining) in cancelled {
+            self.flow_starts.remove(&t);
+            let (kind, _, _, iter) = untag(t);
+            // BSP accounting: a push's comm interval normally closes at
+            // apply completion, a broadcast's at pull completion; close
+            // them here instead. Restores never opened one.
+            if self.sync == SyncMode::Bsp && (kind == KIND_PUSH || kind == KIND_PULL) {
+                self.comm_end(iter);
+            }
+        }
+        match rejoin_at {
+            Some(r) => {
+                self.workers[j].absent = true;
+                self.queue.schedule_at(r, Ev::Rejoin { worker: j });
+            }
+            None => {
+                // Permanent shrink: the barrier re-forms over the
+                // survivors and the global batch is re-split across them.
+                let w = &mut self.workers[j];
+                w.departed = true;
+                w.done = true;
+                self.active_mask &= !(1u128 << j);
+                self.n_active -= 1;
+                assert!(self.n_active > 0, "fleet shrunk to zero workers");
+                match self.sync {
+                    SyncMode::Bsp => self.recheck_bsp_barrier(),
+                    SyncMode::Asp => self.restart_idle_asp_workers(),
+                }
+            }
+        }
+    }
+
+    /// A replacement instance joins the cluster: the worker slot comes
+    /// back, but must first restore the checkpoint — a full parameter
+    /// re-pull from the PS fleet — before computing again.
+    fn on_rejoin(&mut self, j: usize) {
+        if self.done_time.is_some() || self.workers[j].departed || !self.workers[j].absent {
+            return;
+        }
+        self.repairs += 1;
+        let restore_uid = self.workers[j].inc as u64;
+        {
+            let w = &mut self.workers[j];
+            w.absent = false;
+            w.restoring = true;
+            w.pending_pulls = self.chunk_mb.len();
+        }
+        for l in 0..self.chunk_mb.len() {
+            let k = self.chunk_ps[l];
+            self.launch_flow(
+                vec![self.ps_nic[k], self.wk_nic[j]],
+                self.chunk_mb[l],
+                tag(KIND_RESTORE, j, l, restore_uid),
+            );
+        }
+    }
+
+    /// The checkpoint restore finished: the worker resumes from the
+    /// freshest parameters the PS fleet holds.
+    fn on_restored(&mut self, j: usize) {
+        self.workers[j].restoring = false;
+        match self.sync {
+            SyncMode::Bsp => {
+                let iterations_done = self.iterations_done;
+                let w = &mut self.workers[j];
+                w.iter = iterations_done;
+                w.seg = 0;
+                w.cur_iter_comp = 0.0;
+                w.done = false;
+                for (l, v) in w.chunk_version.iter_mut().enumerate() {
+                    *v = (*v).max(self.chunk_latest[l]);
+                }
+                self.try_start_segment(j);
+            }
+            SyncMode::Asp => {
+                let commits = self.commits;
+                let w = &mut self.workers[j];
+                w.v_seen = commits;
+                w.iter += 1;
+                if self.started < self.target {
+                    self.started += 1;
+                    w.done = false;
+                    self.start_asp_compute(j, 0.0);
+                } else {
+                    w.done = true;
+                }
+            }
+        }
+    }
+
+    /// After a shrink, chunks the departed worker never delivered may now
+    /// satisfy the (smaller) barrier: sweep outstanding iterations in
+    /// ascending order and release any that completed.
+    fn recheck_bsp_barrier(&mut self) {
+        let mut iters: Vec<u64> = self.applied.keys().copied().collect();
+        iters.sort_unstable();
+        for iter in iters {
+            let mask = self.active_mask;
+            let newly: Vec<usize> = {
+                let prog = self.applied.get_mut(&iter).expect("key just listed");
+                (0..prog.broadcast.len())
+                    .filter(|&l| !prog.broadcast[l] && (prog.applied[l] & mask) == mask)
+                    .collect()
+            };
+            for &l in &newly {
+                self.applied
+                    .get_mut(&iter)
+                    .expect("still outstanding")
+                    .broadcast[l] = true;
+                self.broadcast_chunk(iter, l);
+            }
+            let complete = self.applied[&iter].broadcast.iter().all(|b| *b);
+            if complete {
+                self.applied.remove(&iter);
+                self.on_bsp_iteration_complete(iter);
+                if self.done_time.is_some() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// After an ASP shrink hands cycles back (`started` dropped), idle
+    /// finished workers must pick them up or the run would stall.
+    fn restart_idle_asp_workers(&mut self) {
+        for k in 0..self.n {
+            if self.started >= self.target {
+                return;
+            }
+            let w = &self.workers[k];
+            if w.done && !w.departed && !w.absent && !w.restoring && !w.computing {
+                self.workers[k].done = false;
+                self.started += 1;
+                self.start_asp_compute(k, 0.0);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // ASP mechanics
 
     /// Begins an ASP compute cycle after `extra_delay` seconds (used only
@@ -673,8 +1001,9 @@ impl<'a> Engine<'a> {
         w.compute_busy += dur;
         w.cur_iter_comp = dur;
         self.trace_compute(j, iter, now + extra_delay, now + extra_delay + dur);
+        let inc = self.workers[j].inc;
         self.queue
-            .schedule_after(extra_delay + dur, SegDone { worker: j });
+            .schedule_after(extra_delay + dur, Ev::Seg { worker: j, inc });
     }
 
     fn on_asp_compute_done(&mut self, j: usize) {
@@ -860,6 +1189,8 @@ impl<'a> Engine<'a> {
             loss_curve: self.loss_curve,
             final_loss,
             staleness: Stats::of(&self.staleness_samples),
+            revocations: self.revocations,
+            repairs: self.repairs,
         }
     }
 }
@@ -917,7 +1248,10 @@ mod tests {
         assert!(t[1] < t[0], "2 workers should beat 1: {t:?}");
         // The U-shape: 8 workers slower than the best point.
         let best = t.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(t[3] > best * 1.3, "8 workers should sit past the knee: {t:?}");
+        assert!(
+            t[3] > best * 1.3,
+            "8 workers should sit past the knee: {t:?}"
+        );
     }
 
     #[test]
@@ -1033,7 +1367,12 @@ mod tests {
         assert!(fast.extrapolated);
         assert!(fast.simulated_iterations < 400);
         let err = (fast.total_time - exact.total_time).abs() / exact.total_time;
-        assert!(err < 0.05, "extrapolation error {err}: {} vs {}", fast.total_time, exact.total_time);
+        assert!(
+            err < 0.05,
+            "extrapolation error {err}: {} vs {}",
+            fast.total_time,
+            exact.total_time
+        );
     }
 
     #[test]
@@ -1085,7 +1424,10 @@ mod tests {
         };
         let plain = simulate(&job);
         let (traced, trace) = simulate_traced(&job, 1_000_000);
-        assert_eq!(plain.total_time, traced.total_time, "tracing must not perturb");
+        assert_eq!(
+            plain.total_time, traced.total_time,
+            "tracing must not perturb"
+        );
         // The traced compute time matches the report's busy accounting.
         let busy0 = trace.busy_time("worker-0", Activity::Compute);
         let expect0 = traced.worker_cpu_util[0] * traced.simulated_time;
@@ -1094,7 +1436,12 @@ mod tests {
             "trace busy {busy0} vs report {expect0}"
         );
         // All four activity kinds appear, and the export is parseable.
-        for act in [Activity::Compute, Activity::Push, Activity::Apply, Activity::Pull] {
+        for act in [
+            Activity::Compute,
+            Activity::Push,
+            Activity::Apply,
+            Activity::Pull,
+        ] {
             assert!(
                 trace.spans().iter().any(|sp| sp.activity == act),
                 "{act:?} missing from trace"
@@ -1102,6 +1449,172 @@ mod tests {
         }
         let json = trace.to_chrome_trace();
         assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn empty_disruption_schedule_matches_plain_simulation() {
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 100;
+        let job = TrainJob {
+            workload: &w,
+            cluster: m4_cluster(3, 1),
+            config: SimConfig::deterministic(31),
+        };
+        let plain = simulate(&job);
+        let disrupted = simulate_disrupted(&job, &[]);
+        assert_eq!(plain.total_time, disrupted.total_time);
+        assert_eq!(disrupted.revocations, 0);
+        assert_eq!(disrupted.repairs, 0);
+    }
+
+    #[test]
+    fn bsp_stalls_through_revocation_then_completes() {
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 200;
+        let job = TrainJob {
+            workload: &w,
+            cluster: m4_cluster(4, 1),
+            config: SimConfig::deterministic(33),
+        };
+        let base = simulate(&job);
+        // Revoke worker 2 mid-run; a replacement joins 20 s later.
+        let d = [Disruption {
+            worker: 2,
+            at: base.total_time * 0.4,
+            rejoin_at: Some(base.total_time * 0.4 + 20.0),
+        }];
+        let r = simulate_disrupted(&job, &d);
+        assert_eq!(r.revocations, 1);
+        assert_eq!(r.repairs, 1);
+        assert_eq!(r.simulated_iterations, 200, "the barrier must release");
+        assert!(
+            r.total_time > base.total_time + 15.0,
+            "BSP stalls for most of the outage: base={} disrupted={}",
+            base.total_time,
+            r.total_time
+        );
+    }
+
+    #[test]
+    fn asp_degrades_gracefully_under_revocation() {
+        let mut w = Workload::resnet32_asp();
+        w.iterations = 60;
+        let job = TrainJob {
+            workload: &w,
+            cluster: m4_cluster(4, 1),
+            config: SimConfig::deterministic(35),
+        };
+        let base = simulate(&job);
+        let outage = base.total_time * 0.5;
+        let d = [Disruption {
+            worker: 1,
+            at: base.total_time * 0.25,
+            rejoin_at: Some(base.total_time * 0.25 + outage),
+        }];
+        let r = simulate_disrupted(&job, &d);
+        assert_eq!(r.simulated_iterations, 60);
+        assert_eq!(r.revocations, 1);
+        // Survivors keep committing: the slowdown is far smaller than the
+        // outage itself (BSP would stall for all of it).
+        assert!(
+            r.total_time - base.total_time < outage * 0.8,
+            "ASP should absorb most of the outage: base={} disrupted={} outage={outage}",
+            base.total_time,
+            r.total_time
+        );
+    }
+
+    #[test]
+    fn permanent_shrink_completes_on_survivors() {
+        for workload in [Workload::mnist_bsp(), Workload::resnet32_asp()] {
+            let mut w = workload;
+            w.iterations = 80;
+            let job = TrainJob {
+                workload: &w,
+                cluster: m4_cluster(2, 1),
+                config: SimConfig::deterministic(37),
+            };
+            let base = simulate(&job);
+            let d = [Disruption {
+                worker: 0,
+                at: base.total_time * 0.3,
+                rejoin_at: None,
+            }];
+            let r = simulate_disrupted(&job, &d);
+            assert_eq!(
+                r.simulated_iterations,
+                80,
+                "{}: survivors must finish the job",
+                w.id()
+            );
+            assert_eq!(r.revocations, 1);
+            assert_eq!(r.repairs, 0, "a shrink is not a repair");
+            assert!(
+                r.total_time > base.total_time,
+                "{}: fewer workers, slower",
+                w.id()
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_revocations_of_same_slot() {
+        let mut w = Workload::mnist_bsp();
+        w.iterations = 120;
+        let job = TrainJob {
+            workload: &w,
+            cluster: m4_cluster(3, 1),
+            config: SimConfig::deterministic(39),
+        };
+        let base = simulate(&job);
+        let t = base.total_time;
+        let d = [
+            Disruption {
+                worker: 1,
+                at: t * 0.2,
+                rejoin_at: Some(t * 0.2 + 10.0),
+            },
+            // Second reclaim lands while the first repair may still be
+            // restoring; the slot must survive both.
+            Disruption {
+                worker: 1,
+                at: t * 0.2 + 12.0,
+                rejoin_at: Some(t * 0.2 + 30.0),
+            },
+        ];
+        let r = simulate_disrupted(&job, &d);
+        assert_eq!(r.simulated_iterations, 120);
+        assert_eq!(r.revocations, 2);
+        assert_eq!(r.repairs, 2);
+    }
+
+    #[test]
+    fn disrupted_runs_are_deterministic() {
+        let mut w = Workload::vgg19_asp();
+        w.iterations = 40;
+        let job = TrainJob {
+            workload: &w,
+            cluster: m4_cluster(3, 1),
+            config: SimConfig::exact(41),
+        };
+        let d = [
+            Disruption {
+                worker: 0,
+                at: 30.0,
+                rejoin_at: Some(55.0),
+            },
+            Disruption {
+                worker: 2,
+                at: 60.0,
+                rejoin_at: None,
+            },
+        ];
+        let a = simulate_disrupted(&job, &d);
+        let b = simulate_disrupted(&job, &d);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.loss_curve, b.loss_curve);
+        assert_eq!(a.revocations, b.revocations);
+        assert_eq!(a.repairs, b.repairs);
     }
 
     #[test]

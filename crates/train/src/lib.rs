@@ -47,6 +47,6 @@ pub mod trace;
 
 pub use cluster::ClusterSpec;
 pub use config::{FastForward, SimConfig};
-pub use engine::{simulate, simulate_traced, TrainJob};
-pub use trace::TraceRecorder;
+pub use engine::{simulate, simulate_disrupted, simulate_traced, Disruption, TrainJob};
 pub use report::TrainingReport;
+pub use trace::TraceRecorder;

@@ -56,6 +56,14 @@ pub struct TrainingReport {
     pub final_loss: f64,
     /// ASP parameter staleness (in missed updates); all-zero for BSP.
     pub staleness: Stats,
+    /// Worker revocations that actually disrupted the run (spot reclaims
+    /// injected via `simulate_disrupted`).
+    #[serde(default)]
+    pub revocations: u32,
+    /// Repairs completed: replacement workers that finished their
+    /// checkpoint restore and re-joined the computation.
+    #[serde(default)]
+    pub repairs: u32,
 }
 
 impl TrainingReport {
@@ -131,6 +139,8 @@ mod tests {
             loss_curve: vec![(1, 2.0), (50, 1.0), (100, 0.5)],
             final_loss: 0.5,
             staleness: Stats::of(&[]),
+            revocations: 0,
+            repairs: 0,
         }
     }
 

@@ -59,7 +59,14 @@ impl TraceRecorder {
     }
 
     /// Records one interval.
-    pub fn record(&mut self, lane: String, activity: Activity, iteration: u64, start: f64, end: f64) {
+    pub fn record(
+        &mut self,
+        lane: String,
+        activity: Activity,
+        iteration: u64,
+        start: f64,
+        end: f64,
+    ) {
         debug_assert!(end >= start, "span ends before it starts");
         if self.spans.len() >= self.capacity {
             self.dropped += 1;

@@ -36,7 +36,10 @@ fn main() {
             );
         }
         let apply = trace.busy_time("ps-0", Activity::Apply);
-        println!("  ps-0: applying {:.0}% of the time", apply / horizon * 100.0);
+        println!(
+            "  ps-0: applying {:.0}% of the time",
+            apply / horizon * 100.0
+        );
 
         let path = format!("/tmp/cynthia-trace-{n}wk.json");
         std::fs::write(&path, trace.to_chrome_trace()).expect("write trace");

@@ -296,8 +296,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<String, String> {
         config: SimConfig::fast(42),
     };
     let (report, trace_note) = if let Some(path) = flags.get("trace") {
-        let (report, trace) =
-            cynthia::train::simulate_traced(&job, 200_000);
+        let (report, trace) = cynthia::train::simulate_traced(&job, 200_000);
         std::fs::write(path, trace.to_chrome_trace())
             .map_err(|e| format!("cannot write trace to {path:?}: {e}"))?;
         (
@@ -361,9 +360,8 @@ fn cmd_profile(flags: &HashMap<String, String>) -> Result<String, String> {
 
 fn cmd_catalog(flags: &HashMap<String, String>) -> String {
     let catalog = catalog_for(flags);
-    let mut out = String::from(
-        "type          cores  GFLOPS/core  node GFLOPS   NIC MB/s    $/hour\n",
-    );
+    let mut out =
+        String::from("type          cores  GFLOPS/core  node GFLOPS   NIC MB/s    $/hour\n");
     for t in catalog.types() {
         out.push_str(&format!(
             "{:<13} {:>5} {:>12.2} {:>12.2} {:>10.0} {:>9.3}\n",

@@ -16,6 +16,9 @@
 //!   bottlenecks, stragglers, multi-PS).
 //! * [`core`] — Cynthia itself: profiler, loss model, performance model,
 //!   Theorem 4.1 bounds, Algorithm 1 provisioner, end-to-end framework.
+//! * [`elastic`] — elastic fleets on revocable spot capacity: a
+//!   deterministic spot market, an online replanner re-running the
+//!   Theorem 4.1 band search at every revocation, and repair policies.
 //! * [`baselines`] — the Optimus and Paleo comparison models.
 //! * [`experiments`] — regeneration of every table and figure in the
 //!   paper's evaluation (see the `cynthia-exp` binary).
@@ -45,6 +48,7 @@ pub use cynthia_baselines as baselines;
 pub use cynthia_cloud as cloud;
 pub use cynthia_core as core;
 pub use cynthia_dnn as dnn;
+pub use cynthia_elastic as elastic;
 pub use cynthia_experiments as experiments;
 pub use cynthia_models as models;
 pub use cynthia_sim as sim;
@@ -55,9 +59,15 @@ pub mod prelude {
     pub use cynthia_baselines::{OptimusModel, PaleoModel};
     pub use cynthia_cloud::{default_catalog, Catalog, InstanceType};
     pub use cynthia_core::{
-        profile_workload, ClusterShape, Cynthia, CynthiaModel, FittedLossModel, Goal,
-        PerfModel, Plan, PlannerOptions, ProfileData,
+        profile_workload, ClusterShape, Cynthia, CynthiaModel, FittedLossModel, Goal, PerfModel,
+        Plan, PlannerOptions, ProfileData,
+    };
+    pub use cynthia_elastic::{
+        run_elastic, summarize, ElasticConfig, ElasticReport, ElasticSummary, RepairAction,
+        RepairPolicy, Replanner,
     };
     pub use cynthia_models::{ConvergenceProfile, SyncMode, Workload};
-    pub use cynthia_train::{simulate, ClusterSpec, SimConfig, TrainJob, TrainingReport};
+    pub use cynthia_train::{
+        simulate, simulate_disrupted, ClusterSpec, Disruption, SimConfig, TrainJob, TrainingReport,
+    };
 }

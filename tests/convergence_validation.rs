@@ -59,9 +59,12 @@ fn real_bsp_sgd_fits_eq1_well() {
 #[test]
 fn real_asp_staleness_slows_convergence_per_update() {
     // The √n factor of Eq. (1): at the same global update count, more
-    // ASP workers (hence more staleness) end with a higher loss. Run a
-    // few seeds and require the ordering to hold on average — individual
-    // thread interleavings are nondeterministic.
+    // ASP workers (hence more staleness) reach a given update with a
+    // higher loss. The comparison must happen *mid-descent*: by the time
+    // both configurations have fully converged, their tail losses differ
+    // only by minibatch noise and the staleness penalty is invisible. Run
+    // several seeds and require the ordering to hold on average —
+    // individual thread interleavings are nondeterministic.
     let data = dataset();
     let run = |n: usize, seed: u64| {
         train_parameter_server(
@@ -77,15 +80,25 @@ fn real_asp_staleness_slows_convergence_per_update() {
             },
         )
     };
+    // Mean loss over the global-update window [lo, hi): the descent phase.
+    let window_loss = |curve: &[(u64, f64)], lo: u64, hi: u64| {
+        let w: Vec<f64> = curve
+            .iter()
+            .filter(|(u, _)| (lo..hi).contains(u))
+            .map(|(_, l)| *l)
+            .collect();
+        assert!(!w.is_empty(), "no updates in window {lo}..{hi}");
+        w.iter().sum::<f64>() / w.len() as f64
+    };
     let mut few_total = 0.0;
     let mut many_total = 0.0;
     let mut stale_few = 0.0;
     let mut stale_many = 0.0;
-    for seed in 0..3 {
+    for seed in 0..5 {
         let few = run(2, seed);
         let many = run(10, seed);
-        few_total += few.tail_loss(60);
-        many_total += many.tail_loss(60);
+        few_total += window_loss(&few.loss_curve, 20, 120);
+        many_total += window_loss(&many.loss_curve, 20, 120);
         stale_few += few.mean_staleness();
         stale_many += many.mean_staleness();
     }
@@ -108,7 +121,11 @@ fn adam_curves_also_fit_eq1() {
     let mut net = Mlp::new(&[16, 32, 4], 7);
     let mut opt = Adam::new(0.01);
     let out = train_single_node(&mut net, &data, &mut opt, 600, 32);
-    assert!(out.final_accuracy > 0.8, "Adam should learn: {}", out.final_accuracy);
+    assert!(
+        out.final_accuracy > 0.8,
+        "Adam should learn: {}",
+        out.final_accuracy
+    );
     let samples = smooth(&out.loss_curve, 12);
     let fit = FittedLossModel::fit(SyncMode::Bsp, &samples, 1);
     assert!(fit.beta0 > 0.0);
@@ -148,11 +165,7 @@ fn analytic_convergence_profile_matches_real_sgd_shape() {
     };
     for s in [100u64, 250, 450] {
         let analytic = profile.expected_loss(SyncMode::Bsp, s, 2);
-        let nearest = samples
-            .iter()
-            .min_by_key(|(x, _)| x.abs_diff(s))
-            .unwrap()
-            .1;
+        let nearest = samples.iter().min_by_key(|(x, _)| x.abs_diff(s)).unwrap().1;
         assert!(
             (analytic - nearest).abs() < 0.45,
             "s={s}: analytic {analytic} vs measured {nearest}"

@@ -1,0 +1,133 @@
+//! End-to-end acceptance of the elastic subsystem: a BSP job on a spot
+//! fleet, with injected revocations, completes under `SpotWithFallback`
+//! replanning — cheaper than on-demand when the market is quiet, still
+//! (mostly) on deadline when it is not.
+
+use cynthia::prelude::*;
+use cynthia_cloud::RevocationModel;
+
+const SEEDS: [u64; 5] = [3, 5, 9, 17, 23];
+
+/// Fraction of seeds that must finish within the deadline under an
+/// aggressive reclaim rate.
+const REQUIRED_DEADLINE_FRACTION: f64 = 0.6;
+
+fn cifar_goal() -> Goal {
+    Goal {
+        deadline_secs: 3600.0,
+        target_loss: 2.2,
+    }
+}
+
+fn config(policy: RepairPolicy, rate_per_hour: f64, seed: u64) -> ElasticConfig {
+    let mut cfg = ElasticConfig::new(cifar_goal(), policy, seed);
+    cfg.market.revocations = RevocationModel::Exponential { rate_per_hour };
+    cfg
+}
+
+#[test]
+fn quiet_spot_market_beats_on_demand_on_every_seed() {
+    let catalog = default_catalog();
+    let workload = Workload::cifar10_bsp();
+    for seed in SEEDS {
+        let cfg = config(RepairPolicy::spot_with_fallback(), 0.0, seed);
+        let report = run_elastic(&workload, &catalog, &cfg).expect("goal is feasible");
+        assert_eq!(report.training.revocations, 0, "rate 0 must never reclaim");
+        assert!(
+            report.realized_cost < report.on_demand_baseline_cost,
+            "seed {seed}: spot fleet (${:.4}) must be strictly cheaper than \
+             on-demand (${:.4})",
+            report.realized_cost,
+            report.on_demand_baseline_cost
+        );
+        assert!(report.met_deadline, "seed {seed} missed the deadline");
+        assert!(report.met_loss, "seed {seed} missed the loss target");
+    }
+}
+
+#[test]
+fn disrupted_spot_fleet_stays_predictable() {
+    let catalog = default_catalog();
+    let workload = Workload::cifar10_bsp();
+    let mut met = 0usize;
+    let mut total_revocations = 0u32;
+    for seed in SEEDS {
+        let cfg = config(RepairPolicy::spot_with_fallback(), 6.0, seed);
+        let report = run_elastic(&workload, &catalog, &cfg).expect("goal is feasible");
+        // The job always completes and converges, whatever the market did.
+        assert!(report.met_loss, "seed {seed}: training did not converge");
+        assert!(
+            report.training.total_time.is_finite() && report.training.total_time > 0.0,
+            "seed {seed}: run did not complete"
+        );
+        total_revocations += report.training.revocations;
+        if report.met_deadline {
+            met += 1;
+        }
+    }
+    assert!(
+        total_revocations > 0,
+        "a 6/hour reclaim rate should disrupt at least one of {} runs",
+        SEEDS.len()
+    );
+    let fraction = met as f64 / SEEDS.len() as f64;
+    assert!(
+        fraction >= REQUIRED_DEADLINE_FRACTION,
+        "replanner kept only {met}/{} runs within deadline (need ≥ {:.0}%)",
+        SEEDS.len(),
+        REQUIRED_DEADLINE_FRACTION * 100.0
+    );
+}
+
+#[test]
+fn on_demand_fallback_engages_under_pressure() {
+    // Sweep seeds at a hostile reclaim rate: across them the replanner
+    // must exercise repair (not just shrink), and on-demand anchors of a
+    // mixed fleet must never be reclaimed.
+    let catalog = default_catalog();
+    let workload = Workload::cifar10_bsp();
+    let mut repairs = 0usize;
+    for seed in SEEDS {
+        let cfg = config(RepairPolicy::spot_with_fallback(), 20.0, seed);
+        let report = run_elastic(&workload, &catalog, &cfg).expect("goal is feasible");
+        repairs += report.repairs();
+        assert_eq!(
+            report.revocations(),
+            report.repairs() + report.shrinks(),
+            "seed {seed}: every reclaim needs exactly one decision"
+        );
+    }
+    assert!(
+        repairs > 0,
+        "20/hour across {} seeds should force at least one repair",
+        SEEDS.len()
+    );
+}
+
+#[test]
+fn summary_reports_miss_rate_over_seeds() {
+    let catalog = default_catalog();
+    let workload = Workload::cifar10_bsp();
+    let quiet = summarize(
+        &workload,
+        &catalog,
+        &config(RepairPolicy::spot_with_fallback(), 0.0, 0),
+        &SEEDS,
+    )
+    .expect("goal is feasible");
+    assert_eq!(quiet.deadline_miss_rate, 0.0);
+    assert!(quiet.mean_realized_cost < quiet.mean_on_demand_cost);
+
+    let od = summarize(
+        &workload,
+        &catalog,
+        &config(RepairPolicy::OnDemandOnly, 6.0, 0),
+        &SEEDS,
+    )
+    .expect("goal is feasible");
+    assert_eq!(od.mean_revocations, 0.0, "on-demand is never reclaimed");
+    assert!(
+        (od.mean_realized_cost - od.mean_on_demand_cost).abs() < 1e-9,
+        "on-demand-only realizes exactly the static Eq. (8) cost"
+    );
+}

@@ -17,7 +17,11 @@ fn cifar10_bsp_goal_is_met_at_reported_cost() {
     let report = s
         .run_end_to_end(&Workload::cifar10_bsp(), &goal)
         .expect("feasible");
-    assert!(report.met_deadline, "took {:.0}s", report.training.total_time);
+    assert!(
+        report.met_deadline,
+        "took {:.0}s",
+        report.training.total_time
+    );
     assert!(report.met_loss, "final loss {}", report.training.final_loss);
     assert!(report.actual_cost > 0.0 && report.actual_cost < 10.0);
     // The bill matches Eq. (8) recomputed from the plan and actual time.
@@ -42,7 +46,11 @@ fn vgg19_asp_goal_is_met() {
     let report = s
         .run_end_to_end(&Workload::vgg19_asp(), &goal)
         .expect("feasible");
-    assert!(report.met_deadline, "took {:.0}s", report.training.total_time);
+    assert!(
+        report.met_deadline,
+        "took {:.0}s",
+        report.training.total_time
+    );
     assert!(report.met_loss, "final loss {}", report.training.final_loss);
     // ASP budgets iterations per worker.
     assert_eq!(
@@ -125,9 +133,7 @@ fn execution_report_carries_the_prototype_artifacts() {
         deadline_secs: 10800.0,
         target_loss: 0.8,
     };
-    let report = s
-        .run_end_to_end(&Workload::cifar10_bsp(), &goal)
-        .unwrap();
+    let report = s.run_end_to_end(&Workload::cifar10_bsp(), &goal).unwrap();
     // kubeadm-style join token from the simulated control plane.
     assert!(report.join_token.contains('.'));
     // Loss curve present and decreasing in trend.

@@ -21,7 +21,10 @@ fn cynthia_tracks_all_four_workloads() {
     let m4 = catalog.expect("m4.xlarge");
     let cases: Vec<(Workload, Vec<u32>)> = vec![
         (Workload::mnist_bsp().with_iterations(2000), vec![1, 4, 8]),
-        (Workload::cifar10_bsp().with_iterations(1000), vec![4, 9, 13]),
+        (
+            Workload::cifar10_bsp().with_iterations(1000),
+            vec![4, 9, 13],
+        ),
         (Workload::resnet32_asp().with_iterations(300), vec![4, 9]),
         (Workload::vgg19_asp().with_iterations(300), vec![7, 12]),
     ];
@@ -111,8 +114,7 @@ fn predicted_worker_utilization_matches_table2_shape() {
     // both collapse as the PS saturates.
     let mut last = f64::INFINITY;
     for n in [2u32, 4, 8] {
-        let predicted =
-            model.predicted_worker_busy_fraction(&ClusterShape::homogeneous(m4, n, 1));
+        let predicted = model.predicted_worker_busy_fraction(&ClusterShape::homogeneous(m4, n, 1));
         let report = simulate(&TrainJob {
             workload: &w,
             cluster: ClusterSpec::homogeneous(m4, n, 1),
@@ -130,6 +132,9 @@ fn predicted_worker_utilization_matches_table2_shape() {
         );
         // The paper-literal demand/supply u is an optimistic envelope.
         let u_paper = model.worker_utilization(&ClusterShape::homogeneous(m4, n, 1));
-        assert!(u_paper + 1e-9 >= predicted, "n={n}: {u_paper} vs {predicted}");
+        assert!(
+            u_paper + 1e-9 >= predicted,
+            "n={n}: {u_paper} vs {predicted}"
+        );
     }
 }
