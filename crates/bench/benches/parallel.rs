@@ -1,0 +1,85 @@
+//! Benches for the parallel provisioning and sweep engine:
+//!
+//! * `provision` — Alg. 1 band search over the full goal grid, serial
+//!   (`plan`) vs parallel (`plan_parallel`) vs parallel with a shared
+//!   cross-goal `EvalCache`.
+//! * `sweep` — the 16-seed elastic scenario sweep, serial (`summarize`)
+//!   vs parallel (`summarize_parallel`).
+//!
+//! The parallel paths are bit-identical to the serial ones (see
+//! `tests/parallel_equivalence.rs`), so these benches measure pure
+//! speedup, not an accuracy trade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cynthia_bench::{bench_loss, bench_profile, goal_grid, sweep_config, sweep_seeds};
+use cynthia_cloud::catalog::default_catalog;
+use cynthia_core::provisioner::PlannerOptions;
+use cynthia_core::provisioner::{plan, plan_parallel, plan_parallel_with_cache, EvalCache};
+use cynthia_core::CynthiaModel;
+use cynthia_elastic::{summarize, summarize_parallel};
+use cynthia_models::Workload;
+
+fn bench_provision(c: &mut Criterion) {
+    let catalog = default_catalog();
+    let w = Workload::cifar10_bsp();
+    let profile = bench_profile(&w);
+    let loss = bench_loss(&w);
+    // Full-band scan (no Theorem 4.1 narrowing) so each goal carries
+    // enough candidate evaluations for the fan-out to be measurable.
+    let opts = PlannerOptions {
+        use_bounds: false,
+        max_workers: 64,
+        ..PlannerOptions::default()
+    };
+    let goals = goal_grid();
+
+    let mut g = c.benchmark_group("provision");
+    g.bench_function("band-search-serial", |b| {
+        b.iter(|| {
+            goals
+                .iter()
+                .map(|goal| plan(&profile, &loss, &catalog, goal, &opts))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("band-search-parallel", |b| {
+        b.iter(|| {
+            goals
+                .iter()
+                .map(|goal| plan_parallel(&profile, &loss, &catalog, goal, &opts))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("band-search-parallel-shared-cache", |b| {
+        let model = CynthiaModel::new(profile.clone());
+        b.iter(|| {
+            let cache = EvalCache::new();
+            goals
+                .iter()
+                .map(|goal| {
+                    plan_parallel_with_cache(&model, &profile, &loss, &catalog, goal, &opts, &cache)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let catalog = default_catalog();
+    let w = Workload::cifar10_bsp();
+    let cfg = sweep_config(0);
+    let seeds = sweep_seeds(16);
+
+    let mut g = c.benchmark_group("sweep");
+    g.bench_function("elastic-16-seeds-serial", |b| {
+        b.iter(|| summarize(&w, &catalog, &cfg, &seeds))
+    });
+    g.bench_function("elastic-16-seeds-parallel", |b| {
+        b.iter(|| summarize_parallel(&w, &catalog, &cfg, &seeds))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_provision, bench_sweep);
+criterion_main!(benches);

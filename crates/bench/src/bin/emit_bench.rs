@@ -1,0 +1,139 @@
+//! Emits `BENCH_provision.json` and `BENCH_sweep.json`: wall time of the
+//! serial vs parallel band search and multi-seed elastic sweep, the
+//! speedup, and the eval-cache hit rate — the perf trajectory record the
+//! ROADMAP's "fast as the hardware allows" goal is tracked against.
+//!
+//! ```text
+//! cargo run --release -p cynthia-bench --bin emit_bench [out_dir]
+//! ```
+//!
+//! Both measurements first assert that the parallel path reproduces the
+//! serial output bit for bit (`bit_identical` in the emitted record), so a
+//! regression in equivalence shows up in the perf artifact too.
+
+use cynthia_bench::{
+    bench_loss, bench_profile, goal_grid, sweep_config, sweep_seeds, ParallelBenchReport,
+};
+use cynthia_cloud::default_catalog;
+use cynthia_core::provisioner::{plan, plan_parallel_with_cache, EvalCache, PlannerOptions};
+use cynthia_core::CynthiaModel;
+use cynthia_elastic::{summarize, summarize_parallel};
+use cynthia_models::Workload;
+use std::time::Instant;
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Serial vs parallel Alg. 1 band search over the goal grid.
+fn provision_report() -> ParallelBenchReport {
+    let catalog = default_catalog();
+    let workload = Workload::cifar10_bsp();
+    let profile = bench_profile(&workload);
+    let loss = bench_loss(&workload);
+    // Full-band scan (no Theorem 4.1 narrowing) so each goal carries
+    // enough candidate evaluations for the fan-out to be measurable.
+    let opts = PlannerOptions {
+        use_bounds: false,
+        max_workers: 64,
+        ..PlannerOptions::default()
+    };
+    let goals = goal_grid();
+
+    // Warm-up so neither path pays first-touch costs.
+    let _ = plan(&profile, &loss, &catalog, &goals[0], &opts);
+
+    let (serial_plans, serial_secs) = timed(|| {
+        goals
+            .iter()
+            .map(|g| plan(&profile, &loss, &catalog, g, &opts))
+            .collect::<Vec<_>>()
+    });
+
+    let model = CynthiaModel::new(profile.clone());
+    let cache = EvalCache::new();
+    let (parallel_plans, parallel_secs) = timed(|| {
+        goals
+            .iter()
+            .map(|g| plan_parallel_with_cache(&model, &profile, &loss, &catalog, g, &opts, &cache))
+            .collect::<Vec<_>>()
+    });
+
+    ParallelBenchReport {
+        bench: "provision_band_search".to_string(),
+        threads: rayon::current_num_threads(),
+        work_items: goals.len(),
+        serial_secs,
+        parallel_secs,
+        speedup: serial_secs / parallel_secs,
+        cache_hit_rate: cache.hit_rate(),
+        bit_identical: serial_plans == parallel_plans,
+    }
+}
+
+/// Serial vs parallel 16-seed elastic scenario sweep.
+fn sweep_report() -> ParallelBenchReport {
+    let catalog = default_catalog();
+    let workload = Workload::cifar10_bsp();
+    let cfg = sweep_config(0);
+    let seeds = sweep_seeds(16);
+
+    let (serial_summary, serial_secs) = timed(|| summarize(&workload, &catalog, &cfg, &seeds));
+    let (parallel_summary, parallel_secs) =
+        timed(|| summarize_parallel(&workload, &catalog, &cfg, &seeds));
+
+    ParallelBenchReport {
+        bench: "elastic_sweep_16_seeds".to_string(),
+        threads: rayon::current_num_threads(),
+        work_items: seeds.len(),
+        serial_secs,
+        parallel_secs,
+        speedup: serial_secs / parallel_secs,
+        // The sweep's per-seed replanner caches are internal; the figure
+        // recorded here is the cross-goal cache of the provisioning bench.
+        cache_hit_rate: 0.0,
+        bit_identical: serial_summary == parallel_summary,
+    }
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+
+    let provision = provision_report();
+    assert!(
+        provision.bit_identical,
+        "parallel band search diverged from serial: {provision:?}"
+    );
+    let path = format!("{out_dir}/BENCH_provision.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&provision).expect("report serializes"),
+    )
+    .expect("write BENCH_provision.json");
+    eprintln!(
+        "{path}: {} goals, serial {:.3}s, parallel {:.3}s ({:.2}x, cache hit rate {:.1}%)",
+        provision.work_items,
+        provision.serial_secs,
+        provision.parallel_secs,
+        provision.speedup,
+        provision.cache_hit_rate * 100.0
+    );
+
+    let sweep = sweep_report();
+    assert!(
+        sweep.bit_identical,
+        "parallel sweep diverged from serial: {sweep:?}"
+    );
+    let path = format!("{out_dir}/BENCH_sweep.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&sweep).expect("report serializes"),
+    )
+    .expect("write BENCH_sweep.json");
+    eprintln!(
+        "{path}: {} seeds, serial {:.3}s, parallel {:.3}s ({:.2}x)",
+        sweep.work_items, sweep.serial_secs, sweep.parallel_secs, sweep.speedup
+    );
+}

@@ -7,14 +7,72 @@
 //! fixtures so the bench targets stay declarative.
 
 use cynthia_cloud::catalog::default_catalog;
+use cynthia_cloud::RevocationModel;
 use cynthia_core::loss_model::FittedLossModel;
 use cynthia_core::profiler::{profile_workload, ProfileData};
+use cynthia_core::provisioner::Goal;
+use cynthia_elastic::{ElasticConfig, RepairPolicy};
 use cynthia_experiments::ExpConfig;
 use cynthia_models::Workload;
+use serde::Serialize;
 
 /// The quick experiment configuration used by every bench.
 pub fn bench_config() -> ExpConfig {
     ExpConfig::quick()
+}
+
+/// A grid of `(deadline, target loss)` goals spanning the feasible range
+/// for the Table 1 BSP workloads — the unit of work for the band-search
+/// benches (one Alg. 1 run per goal).
+pub fn goal_grid() -> Vec<Goal> {
+    let mut goals = Vec::new();
+    for deadline_secs in [1800.0, 2700.0, 3600.0, 5400.0, 7200.0, 10800.0] {
+        for target_loss in [0.6, 0.8, 1.0, 1.4, 2.0] {
+            goals.push(Goal {
+                deadline_secs,
+                target_loss,
+            });
+        }
+    }
+    goals
+}
+
+/// The elastic scenario fixture of the sweep benches: cifar-10/BSP on a
+/// spot fleet with on-demand fallback under a moderate reclaim rate.
+pub fn sweep_config(seed: u64) -> ElasticConfig {
+    let goal = Goal {
+        deadline_secs: 3600.0,
+        target_loss: 2.2,
+    };
+    let mut cfg = ElasticConfig::new(goal, RepairPolicy::spot_with_fallback(), seed);
+    cfg.market.revocations = RevocationModel::Exponential { rate_per_hour: 6.0 };
+    cfg
+}
+
+/// The master seeds of an `n`-seed sweep.
+pub fn sweep_seeds(n: u64) -> Vec<u64> {
+    (0..n).map(|i| 1000 + 17 * i).collect()
+}
+
+/// One serial-vs-parallel measurement, as persisted to `BENCH_*.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelBenchReport {
+    /// Which benchmark produced the record.
+    pub bench: String,
+    /// Worker threads the parallel path fanned out to.
+    pub threads: usize,
+    /// Units of work (goals planned / seeds swept).
+    pub work_items: usize,
+    /// Serial wall time, seconds.
+    pub serial_secs: f64,
+    /// Parallel wall time, seconds.
+    pub parallel_secs: f64,
+    /// `serial_secs / parallel_secs`.
+    pub speedup: f64,
+    /// Eval-cache hit rate of the parallel path (0 when uncached).
+    pub cache_hit_rate: f64,
+    /// Whether the parallel outputs matched the serial ones bit for bit.
+    pub bit_identical: bool,
 }
 
 /// A cached m4.xlarge profile for the given workload.

@@ -21,7 +21,14 @@ pub enum BillingError {
     /// The lease was already terminated (double-revocation, double-teardown).
     AlreadyTerminated(u64),
     /// The event time precedes the lease's (current segment) start.
-    TimeBeforeStart { id: u64, start: f64, t: f64 },
+    TimeBeforeStart {
+        /// Lease the out-of-order event targeted.
+        id: u64,
+        /// Start of the lease's current billing segment.
+        start: f64,
+        /// Timestamp of the rejected event.
+        t: f64,
+    },
 }
 
 impl std::fmt::Display for BillingError {

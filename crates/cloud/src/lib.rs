@@ -22,6 +22,8 @@
 //! 8–9 workers for mnist/VGG-19, straggler ratio ≈ 0.55) appear at the same
 //! cluster sizes.
 
+#![warn(missing_docs)]
+
 pub mod billing;
 pub mod catalog;
 pub mod instance;

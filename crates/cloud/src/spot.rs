@@ -25,11 +25,19 @@ pub enum RevocationModel {
     /// Never revoked (useful as a control).
     None,
     /// Memoryless reclaims: exponential interarrivals with the given rate.
-    Exponential { rate_per_hour: f64 },
+    Exponential {
+        /// Mean reclaims per instance-hour.
+        rate_per_hour: f64,
+    },
     /// Weibull interarrivals. `shape < 1` models front-loaded reclaim risk
     /// (young instances die first, the empirical spot pattern); `shape = 1`
     /// degenerates to exponential.
-    Weibull { shape: f64, scale_hours: f64 },
+    Weibull {
+        /// Weibull shape `k` (front-loaded risk when `< 1`).
+        shape: f64,
+        /// Weibull scale `λ`, hours.
+        scale_hours: f64,
+    },
 }
 
 /// Shape of the simulated spot market, relative to on-demand prices.
@@ -151,11 +159,14 @@ pub struct SpotMarket {
 }
 
 impl SpotMarket {
+    /// Creates a market with the given shape; `seed` fixes every price
+    /// trace and revocation draw.
     pub fn new(config: SpotMarketConfig, seed: u64) -> Self {
         config.validate();
         SpotMarket { config, seed }
     }
 
+    /// The market's configuration.
     pub fn config(&self) -> &SpotMarketConfig {
         &self.config
     }

@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 /// Outcome of one submitted job, end to end.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecutionReport {
+    /// The provisioning decision Alg. 1 produced for the goal.
     pub plan: Plan,
     /// The goal the job was submitted with.
     pub goal: Goal,
@@ -42,11 +43,15 @@ pub struct ExecutionReport {
 /// simulation knobs.
 #[derive(Debug, Clone)]
 pub struct Cynthia {
+    /// Instance types available to the planner.
     pub catalog: Catalog,
+    /// Catalog name of the baseline type used for profiling.
     pub baseline_type: String,
+    /// Master seed for profiling jitter and the training simulation.
     pub seed: u64,
     /// Simulation config used for the full training run.
     pub run_config: SimConfig,
+    /// Knobs forwarded to Alg. 1.
     pub planner: PlannerOptions,
 }
 

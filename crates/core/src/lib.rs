@@ -20,6 +20,8 @@
 //!   provision (via `cynthia-cloud`) → train (via `cynthia-train`) →
 //!   settle the bill.
 
+#![warn(missing_docs)]
+
 pub mod advisor;
 pub mod framework;
 pub mod loss_model;
@@ -32,4 +34,4 @@ pub use framework::{Cynthia, ExecutionReport};
 pub use loss_model::FittedLossModel;
 pub use perf_model::{ClusterShape, CynthiaModel, PerfModel};
 pub use profiler::{profile_workload, ProfileData};
-pub use provisioner::{plan, Goal, Plan, PlannerOptions};
+pub use provisioner::{plan, plan_parallel, EvalCache, Goal, Plan, PlannerOptions};

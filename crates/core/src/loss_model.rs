@@ -14,8 +14,12 @@ use serde::{Deserialize, Serialize};
 /// A fitted instance of Eq. (1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FittedLossModel {
+    /// Synchronization mode the curve was fitted under (β0's staleness
+    /// scaling differs between BSP and ASP).
     pub sync: SyncMode,
+    /// Convergence-speed coefficient `β0` of Eq. (1).
     pub beta0: f64,
+    /// Asymptotic loss floor `β1` of Eq. (1).
     pub beta1: f64,
     /// Coefficient of determination of the fit (diagnostic).
     pub r_squared: f64,
@@ -32,6 +36,20 @@ impl FittedLossModel {
     ///
     /// # Panics
     /// Panics if fewer than two usable samples are provided.
+    ///
+    /// ```
+    /// use cynthia_core::FittedLossModel;
+    /// use cynthia_models::SyncMode;
+    ///
+    /// // A clean Eq. (1) curve: l(s) = 120/s + 0.35.
+    /// let curve: Vec<(u64, f64)> = (1..=60)
+    ///     .map(|i| (10 * i, 120.0 / (10.0 * i as f64) + 0.35))
+    ///     .collect();
+    /// let fit = FittedLossModel::fit(SyncMode::Bsp, &curve, 4);
+    /// assert!((fit.beta0 - 120.0).abs() < 1e-6);
+    /// assert!((fit.beta1 - 0.35).abs() < 1e-9);
+    /// assert!(fit.r_squared > 0.9999);
+    /// ```
     pub fn fit(sync: SyncMode, curve: &[(u64, f64)], n_workers: u32) -> FittedLossModel {
         let pairs = Self::usable(sync, curve, n_workers);
         Self::fit_pairs(sync, &pairs)

@@ -46,6 +46,7 @@ pub struct ClusterShape {
     pub ps_total_gflops: f64,
     /// Aggregate PS NIC supply `Σ b_ps`, MB/s.
     pub ps_total_bw: f64,
+    /// Number of parameter servers the aggregates are spread over.
     pub n_ps: u32,
 }
 
@@ -104,6 +105,7 @@ pub trait PerfModel {
 /// The Cynthia performance model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CynthiaModel {
+    /// The one-shot profile (Table 4 quantities) the predictions scale from.
     pub profile: ProfileData,
     /// Model BSP's computation/communication overlap (Eq. 3's `max`).
     /// Disabled in ablations to emulate additive baselines.

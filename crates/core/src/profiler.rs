@@ -28,7 +28,9 @@ pub const PROFILE_ITERATIONS: u64 = 30;
 /// The Table 4 quantities for one workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfileData {
+    /// Identifier of the profiled workload (model × dataset × sync mode).
     pub workload_id: String,
+    /// Synchronization mode the profiling run used.
     pub sync: SyncMode,
     /// FLOPs of one training iteration, GFLOP (capability-table units).
     pub w_iter_gflops: f64,

@@ -21,7 +21,11 @@ use crate::profiler::ProfileData;
 use cynthia_cloud::catalog::Catalog;
 use cynthia_cloud::instance::InstanceType;
 use cynthia_models::SyncMode;
+use parking_lot::Mutex;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The user-facing training performance goal.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,8 +76,11 @@ impl Default for PlannerOptions {
 /// A concrete provisioning decision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Plan {
+    /// Catalog name of the chosen instance type.
     pub type_name: String,
+    /// Worker count `n` of the chosen cluster.
     pub n_workers: u32,
+    /// Parameter-server count of the chosen cluster.
     pub n_ps: u32,
     /// Iterations the plan budgets for (total for BSP, per-worker for
     /// ASP — the paper's `s`).
@@ -81,7 +88,9 @@ pub struct Plan {
     /// Total global updates implied (equals `iterations` for BSP,
     /// `iterations · n_workers` for ASP).
     pub total_updates: u64,
+    /// Predicted duration of one iteration (Eqs. 3/7), seconds.
     pub predicted_iter_time: f64,
+    /// Predicted end-to-end training time, seconds.
     pub predicted_time: f64,
     /// Eq. (8) cost at the predicted runtime, $.
     pub predicted_cost: f64,
@@ -93,8 +102,11 @@ pub struct Plan {
 /// Theorem 4.1 quantities for one instance type.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkerBounds {
+    /// Theorem 4.1 lower worker bound (Eq. 13/21).
     pub n_lower: u32,
+    /// Theorem 4.1 upper worker bound (Eq. 14/22) at the minimum PS count.
     pub n_upper: u32,
+    /// Minimum PS count `ceil(n_upper / r)` (Eq. 18).
     pub n_ps: u32,
     /// Eq. (12) maximum worker:PS provisioning ratio.
     pub r: f64,
@@ -130,6 +142,34 @@ pub fn max_provision_ratio(profile: &ProfileData, ty: &InstanceType) -> f64 {
 /// Theorem 4.1: worker-count bounds and the minimum PS count for one
 /// instance type under the (headroom-adjusted) goal. Returns `None` when
 /// the loss target is unreachable (at or below the fitted floor β1).
+///
+/// ```
+/// use cynthia_core::provisioner::{worker_bounds, Goal};
+/// use cynthia_core::{profile_workload, FittedLossModel};
+/// use cynthia_cloud::default_catalog;
+/// use cynthia_models::Workload;
+///
+/// let catalog = default_catalog();
+/// let workload = Workload::cifar10_bsp();
+/// let m4 = catalog.expect("m4.xlarge");
+/// let profile = profile_workload(&workload, m4, 7);
+/// let loss = FittedLossModel {
+///     sync: workload.sync,
+///     beta0: workload.convergence.beta0,
+///     beta1: workload.convergence.beta1,
+///     r_squared: 1.0,
+/// };
+/// let goal = Goal { deadline_secs: 7200.0, target_loss: 0.8 };
+/// let b = worker_bounds(&profile, &loss, m4, &goal).expect("reachable");
+/// // The Theorem 4.1 band is non-empty and the PS count keeps the
+/// // worker:PS ratio within Eq. (12)'s cap.
+/// assert!(1 <= b.n_lower && b.n_lower <= b.n_upper);
+/// assert!(b.n_upper as f64 <= b.r * b.n_ps as f64 + 1.0);
+///
+/// // An unreachable loss target (at the fitted floor β1) yields None.
+/// let impossible = Goal { deadline_secs: 7200.0, target_loss: loss.beta1 };
+/// assert!(worker_bounds(&profile, &loss, m4, &impossible).is_none());
+/// ```
 pub fn worker_bounds(
     profile: &ProfileData,
     loss: &FittedLossModel,
@@ -191,7 +231,196 @@ pub fn worker_bounds(
     }
 }
 
+/// Memoized performance-model evaluations for the band search.
+///
+/// Alg. 1 (and the elastic replanner built on it) evaluates the Sec. 3
+/// model (Eqs. 2–7) at many `(instance type, n_workers, n_ps)` points, and
+/// the same points recur across goals, PS-escalation waves, and repeated
+/// `plan` calls against one profile. The cache memoizes the *exact* model
+/// output keyed on `(type, n_workers, n_ps, total_updates)`, so a hit
+/// returns bit-identical numbers to a fresh evaluation — parallel and
+/// cached searches stay equivalent to the serial path by construction.
+///
+/// A cache is only valid for a single `(model, profile)` pairing: create
+/// one per fitted profile and share it across goals/threads (all methods
+/// take `&self`).
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    times: Mutex<HashMap<(String, u32, u32, u64), f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `model.predict_time` for a homogeneous `(ty, n, n_ps)` shape,
+    /// memoized on `(ty.name, n, n_ps, total_updates)`.
+    pub fn predict_time(
+        &self,
+        model: &dyn PerfModel,
+        ty: &InstanceType,
+        n: u32,
+        n_ps: u32,
+        total_updates: u64,
+    ) -> f64 {
+        let key = (ty.name.clone(), n, n_ps, total_updates);
+        if let Some(&t) = self.times.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return t;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let shape = ClusterShape::homogeneous(ty, n, n_ps);
+        let t = model.predict_time(&shape, total_updates);
+        self.times.lock().insert(key, t);
+        t
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to evaluate the model.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from the cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Number of distinct `(type, n, n_ps, updates)` points cached.
+    pub fn len(&self) -> usize {
+        self.times.lock().len()
+    }
+
+    /// Whether the cache holds no evaluations yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One evaluated `(n_workers, n_ps)` point of the Alg. 1 band search.
+#[derive(Debug, Clone, Copy)]
+struct CandidateEval {
+    n: u32,
+    n_ps: u32,
+    /// Eq. 15/20 iteration budget, and the implied global updates.
+    s: u64,
+    total_updates: u64,
+    /// Sec. 3 model's predicted runtime, seconds.
+    time: f64,
+    /// Eq. (8) cost; only meaningful when `feasible`.
+    cost: f64,
+    /// Eq. (9): predicted runtime clears the (headroom-adjusted) deadline.
+    feasible: bool,
+}
+
+/// Evaluates one candidate point. Returns `None` when the loss target is
+/// unreachable (which `worker_bounds` already screens, so in practice this
+/// mirrors the serial path's unreachable-target early return).
+#[allow(clippy::too_many_arguments)]
+fn evaluate_candidate(
+    model: &dyn PerfModel,
+    profile: &ProfileData,
+    loss: &FittedLossModel,
+    ty: &InstanceType,
+    effective: &Goal,
+    n: u32,
+    n_ps: u32,
+    cache: Option<&EvalCache>,
+) -> Option<CandidateEval> {
+    // Iterations to reach the loss target (Eq. 15 / Eq. 20).
+    let (s, total_updates) = match profile.sync {
+        SyncMode::Bsp => {
+            let s = loss.bsp_iterations_for(effective.target_loss)?;
+            (s, s)
+        }
+        SyncMode::Asp => {
+            let s = loss.asp_iterations_per_worker(effective.target_loss, n)?;
+            (s, s * n as u64)
+        }
+    };
+    let time = match cache {
+        Some(c) => c.predict_time(model, ty, n, n_ps, total_updates),
+        None => {
+            let shape = ClusterShape::homogeneous(ty, n, n_ps);
+            model.predict_time(&shape, total_updates)
+        }
+    };
+    let feasible = time < effective.deadline_secs;
+    let cost = if feasible {
+        cynthia_cloud::billing::static_cluster_cost(
+            ty.price_per_hour,
+            n,
+            ty.price_per_hour,
+            n_ps,
+            time,
+        )
+    } else {
+        f64::INFINITY
+    };
+    Some(CandidateEval {
+        n,
+        n_ps,
+        s,
+        total_updates,
+        time,
+        cost,
+        feasible,
+    })
+}
+
+/// Materializes the chosen candidate as a [`Plan`].
+fn plan_from(model: &dyn PerfModel, ty: &InstanceType, c: &CandidateEval) -> Plan {
+    let shape = ClusterShape::homogeneous(ty, c.n, c.n_ps);
+    Plan {
+        type_name: ty.name.clone(),
+        n_workers: c.n,
+        n_ps: c.n_ps,
+        iterations: c.s,
+        total_updates: c.total_updates,
+        predicted_iter_time: model.iter_time(&shape),
+        predicted_time: c.time,
+        predicted_cost: c.cost,
+        candidates_evaluated: 0,
+    }
+}
+
 /// Algorithm 1 with the Cynthia performance model.
+///
+/// ```
+/// use cynthia_core::provisioner::{plan, Goal, PlannerOptions};
+/// use cynthia_core::{profile_workload, FittedLossModel};
+/// use cynthia_cloud::default_catalog;
+/// use cynthia_models::Workload;
+///
+/// let catalog = default_catalog();
+/// let workload = Workload::cifar10_bsp();
+/// let profile = profile_workload(&workload, catalog.expect("m4.xlarge"), 7);
+/// let loss = FittedLossModel {
+///     sync: workload.sync,
+///     beta0: workload.convergence.beta0,
+///     beta1: workload.convergence.beta1,
+///     r_squared: 1.0,
+/// };
+/// let goal = Goal { deadline_secs: 7200.0, target_loss: 0.8 };
+/// let plan = plan(&profile, &loss, &catalog, &goal, &PlannerOptions::default())
+///     .expect("a 2-hour cifar-10 goal is feasible");
+/// assert!(plan.predicted_time < goal.deadline_secs);
+/// assert!(plan.n_workers >= 1 && plan.n_ps >= 1);
+/// ```
 pub fn plan(
     profile: &ProfileData,
     loss: &FittedLossModel,
@@ -203,9 +432,42 @@ pub fn plan(
     plan_with_model(&model, profile, loss, catalog, goal, options)
 }
 
+/// [`plan`], with the band search fanned out across instance types and
+/// candidate `(n_workers, n_ps)` points (and model evaluations memoized in
+/// a fresh [`EvalCache`]). Bit-identical to [`plan`] — see
+/// `tests/parallel_equivalence.rs`.
+pub fn plan_parallel(
+    profile: &ProfileData,
+    loss: &FittedLossModel,
+    catalog: &Catalog,
+    goal: &Goal,
+    options: &PlannerOptions,
+) -> Option<Plan> {
+    let model = CynthiaModel::new(profile.clone());
+    let cache = EvalCache::new();
+    plan_parallel_with_cache(&model, profile, loss, catalog, goal, options, &cache)
+}
+
+fn check_goal(
+    profile: &ProfileData,
+    loss: &FittedLossModel,
+    goal: &Goal,
+    options: &PlannerOptions,
+) {
+    assert!(goal.deadline_secs > 0.0, "deadline must be positive");
+    assert_eq!(profile.sync, loss.sync, "profile/loss sync mismatch");
+    assert!(
+        options.headroom > 0.0 && options.headroom <= 1.0,
+        "headroom must be in (0, 1]"
+    );
+}
+
 /// Algorithm 1 driven by an arbitrary performance model (the "modified
 /// Optimus" comparison of footnote 4 substitutes the baseline model
 /// here). Returns the cheapest feasible plan, or `None`.
+///
+/// This is the serial reference implementation; [`plan_parallel`] and
+/// [`plan_parallel_with_cache`] reproduce its output bit for bit.
 pub fn plan_with_model(
     model: &dyn PerfModel,
     profile: &ProfileData,
@@ -214,12 +476,7 @@ pub fn plan_with_model(
     goal: &Goal,
     options: &PlannerOptions,
 ) -> Option<Plan> {
-    assert!(goal.deadline_secs > 0.0, "deadline must be positive");
-    assert_eq!(profile.sync, loss.sync, "profile/loss sync mismatch");
-    assert!(
-        options.headroom > 0.0 && options.headroom <= 1.0,
-        "headroom must be in (0, 1]"
-    );
+    check_goal(profile, loss, goal, options);
     let effective = Goal {
         deadline_secs: goal.deadline_secs * options.headroom,
         target_loss: goal.target_loss,
@@ -245,46 +502,17 @@ pub fn plan_with_model(
             };
             for n in lo..=hi.min(options.max_workers) {
                 evaluated += 1;
-                // Iterations to reach the loss target (Eq. 15 / Eq. 20).
-                let (s, total_updates) = match profile.sync {
-                    SyncMode::Bsp => {
-                        let s = loss.bsp_iterations_for(effective.target_loss)?;
-                        (s, s)
-                    }
-                    SyncMode::Asp => {
-                        let s = loss.asp_iterations_per_worker(effective.target_loss, n)?;
-                        (s, s * n as u64)
-                    }
-                };
-                let shape = ClusterShape::homogeneous(ty, n, n_ps);
-                let time = model.predict_time(&shape, total_updates);
-                if time >= effective.deadline_secs {
+                let c = evaluate_candidate(model, profile, loss, ty, &effective, n, n_ps, None)?;
+                if !c.feasible {
                     continue;
                 }
                 found_for_type = true;
-                let cost = cynthia_cloud::billing::static_cluster_cost(
-                    ty.price_per_hour,
-                    n,
-                    ty.price_per_hour,
-                    n_ps,
-                    time,
-                );
                 let better = best
                     .as_ref()
-                    .map(|b| cost < b.predicted_cost)
+                    .map(|b| c.cost < b.predicted_cost)
                     .unwrap_or(true);
                 if better {
-                    best = Some(Plan {
-                        type_name: ty.name.clone(),
-                        n_workers: n,
-                        n_ps,
-                        iterations: s,
-                        total_updates,
-                        predicted_iter_time: model.iter_time(&shape),
-                        predicted_time: time,
-                        predicted_cost: cost,
-                        candidates_evaluated: 0,
-                    });
+                    best = Some(plan_from(model, ty, &c));
                 }
                 if options.first_feasible {
                     break; // Alg. 1 line 11: smallest feasible n per type.
@@ -293,6 +521,154 @@ pub fn plan_with_model(
         }
     }
     best.map(|mut p| {
+        p.candidates_evaluated = evaluated;
+        p
+    })
+}
+
+/// The parallel band search behind [`plan_parallel`], against an arbitrary
+/// (`Sync`) performance model and a caller-owned [`EvalCache`].
+///
+/// The search proceeds in PS-escalation waves, mirroring Alg. 1's "extra
+/// PS only when the minimum is infeasible" rule: in each wave, the
+/// still-unresolved instance types contribute their whole Theorem 4.1
+/// worker band as a flat candidate list, the list is evaluated in parallel
+/// (through the cache), and the *serial* selection logic is then replayed
+/// over the evaluated results — so the chosen plan, its predicted numbers,
+/// and even `candidates_evaluated` match the serial path bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_parallel_with_cache(
+    model: &(dyn PerfModel + Sync),
+    profile: &ProfileData,
+    loss: &FittedLossModel,
+    catalog: &Catalog,
+    goal: &Goal,
+    options: &PlannerOptions,
+    cache: &EvalCache,
+) -> Option<Plan> {
+    check_goal(profile, loss, goal, options);
+    let effective = Goal {
+        deadline_secs: goal.deadline_secs * options.headroom,
+        target_loss: goal.target_loss,
+    };
+
+    let types: Vec<&InstanceType> = catalog.types().iter().collect();
+    let bounds: Vec<Option<WorkerBounds>> = types
+        .par_iter()
+        .map(|ty| worker_bounds(profile, loss, ty, &effective))
+        .collect();
+
+    // Per type: the serial algorithm's outcome, filled in over the waves.
+    struct TypeState {
+        resolved: bool,
+        evaluated: u32,
+        best: Option<CandidateEval>,
+    }
+    let mut states: Vec<TypeState> = types
+        .iter()
+        .map(|_| TypeState {
+            resolved: false,
+            evaluated: 0,
+            best: None,
+        })
+        .collect();
+
+    let mut unreachable = false;
+    for extra_ps in 0..=options.max_ps_escalation {
+        // Wave candidate list: every unresolved type's full worker band at
+        // this PS level, flattened for the parallel fan-out.
+        let mut wave: Vec<(usize, u32, u32)> = Vec::new();
+        for (ti, b) in bounds.iter().enumerate() {
+            let Some(b) = b else { continue };
+            if states[ti].resolved {
+                continue;
+            }
+            let n_ps = b.n_ps + extra_ps;
+            let (lo, hi) = if options.use_bounds {
+                (b.n_lower, b.upper_for(n_ps))
+            } else {
+                (1, options.max_workers)
+            };
+            for n in lo..=hi.min(options.max_workers) {
+                wave.push((ti, n, n_ps));
+            }
+        }
+        if wave.is_empty() {
+            break;
+        }
+        let evals: Vec<Option<CandidateEval>> = wave
+            .par_iter()
+            .map(|&(ti, n, n_ps)| {
+                evaluate_candidate(
+                    model,
+                    profile,
+                    loss,
+                    types[ti],
+                    &effective,
+                    n,
+                    n_ps,
+                    Some(cache),
+                )
+            })
+            .collect();
+
+        // Replay the serial control flow over the evaluated wave: count
+        // candidates up to (and including) the serial break point, keep
+        // the within-type best under the same strict-< rule.
+        let mut i = 0;
+        while i < wave.len() {
+            let ti = wave[i].0;
+            let mut stopped = false;
+            while i < wave.len() && wave[i].0 == ti {
+                let eval = &evals[i];
+                i += 1;
+                if stopped {
+                    continue; // serial would have broken out already
+                }
+                states[ti].evaluated += 1;
+                let Some(c) = eval else {
+                    unreachable = true;
+                    stopped = true;
+                    continue;
+                };
+                if !c.feasible {
+                    continue;
+                }
+                states[ti].resolved = true;
+                let better = states[ti]
+                    .best
+                    .as_ref()
+                    .map(|b| c.cost < b.cost)
+                    .unwrap_or(true);
+                if better {
+                    states[ti].best = Some(*c);
+                }
+                if options.first_feasible {
+                    stopped = true;
+                }
+            }
+        }
+        if unreachable {
+            // Serial `plan_with_model` returns `None` outright when the
+            // loss target is unreachable mid-scan.
+            return None;
+        }
+    }
+
+    // Merge per-type bests in catalog order under strict < — identical to
+    // the serial scan's running global best.
+    let evaluated: u32 = states.iter().map(|s| s.evaluated).sum();
+    let mut best: Option<(usize, CandidateEval)> = None;
+    for (ti, s) in states.iter().enumerate() {
+        if let Some(c) = &s.best {
+            let better = best.as_ref().map(|(_, b)| c.cost < b.cost).unwrap_or(true);
+            if better {
+                best = Some((ti, *c));
+            }
+        }
+    }
+    best.map(|(ti, c)| {
+        let mut p = plan_from(model, types[ti], &c);
         p.candidates_evaluated = evaluated;
         p
     })

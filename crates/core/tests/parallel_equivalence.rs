@@ -1,0 +1,106 @@
+//! Property tests: the parallel band search is bit-identical to the
+//! serial Alg. 1 reference — same chosen plan, same predicted numbers
+//! (exact f64 equality, no tolerance), same `candidates_evaluated`.
+
+use cynthia_cloud::default_catalog;
+use cynthia_core::loss_model::FittedLossModel;
+use cynthia_core::perf_model::CynthiaModel;
+use cynthia_core::profiler::{profile_workload, ProfileData};
+use cynthia_core::provisioner::{
+    plan, plan_parallel, plan_parallel_with_cache, plan_with_model, EvalCache, Goal, PlannerOptions,
+};
+use cynthia_models::Workload;
+use proptest::prelude::*;
+
+fn fixtures(asp: bool) -> (ProfileData, FittedLossModel) {
+    let catalog = default_catalog();
+    let w = if asp {
+        Workload::vgg19_asp()
+    } else {
+        Workload::cifar10_bsp()
+    };
+    let profile = profile_workload(&w, catalog.expect("m4.xlarge"), 99);
+    let loss = FittedLossModel {
+        sync: w.sync,
+        beta0: w.convergence.beta0,
+        beta1: w.convergence.beta1,
+        r_squared: 1.0,
+    };
+    (profile, loss)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `plan_parallel` reproduces `plan` exactly over random goals and
+    /// planner knobs, including infeasible goals (both return `None`).
+    #[test]
+    fn parallel_band_search_matches_serial(
+        deadline_secs in 600.0f64..20000.0,
+        target_loss in 0.2f64..3.0,
+        asp in any::<bool>(),
+        first_feasible in any::<bool>(),
+        use_bounds in any::<bool>(),
+        max_workers in 4u32..40,
+        headroom in 0.5f64..1.0,
+        max_ps_escalation in 0u32..4,
+    ) {
+        let (profile, loss) = fixtures(asp);
+        let catalog = default_catalog();
+        let goal = Goal { deadline_secs, target_loss };
+        let options = PlannerOptions {
+            first_feasible,
+            use_bounds,
+            max_workers,
+            headroom,
+            max_ps_escalation,
+        };
+        let serial = plan(&profile, &loss, &catalog, &goal, &options);
+        let parallel = plan_parallel(&profile, &loss, &catalog, &goal, &options);
+        // Plan derives PartialEq over all fields, so this compares every
+        // f64 bit for bit plus candidates_evaluated.
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// A shared, warm `EvalCache` never changes the answer: replanning the
+    /// same and nearby goals through one cache still matches the serial
+    /// path exactly (cached values are the exact f64s the model returns).
+    #[test]
+    fn shared_cache_stays_bit_identical(
+        deadline_secs in 1200.0f64..15000.0,
+        target_loss in 0.4f64..2.5,
+        asp in any::<bool>(),
+    ) {
+        let (profile, loss) = fixtures(asp);
+        let catalog = default_catalog();
+        let model = CynthiaModel::new(profile.clone());
+        let options = PlannerOptions::default();
+        let cache = EvalCache::new();
+        for k in 0..3u32 {
+            // Same deadline, progressively tighter loss: heavy key reuse.
+            let goal = Goal {
+                deadline_secs,
+                target_loss: target_loss * (1.0 - 0.05 * k as f64),
+            };
+            let serial = plan_with_model(&model, &profile, &loss, &catalog, &goal, &options);
+            let cached = plan_parallel_with_cache(
+                &model, &profile, &loss, &catalog, &goal, &options, &cache,
+            );
+            prop_assert_eq!(serial, cached);
+        }
+        // Re-running the very first goal against the now-warm cache (all
+        // hits, no misses) still matches.
+        let goal = Goal { deadline_secs, target_loss };
+        let (h0, _) = (cache.hits(), cache.misses());
+        let serial = plan_with_model(&model, &profile, &loss, &catalog, &goal, &options);
+        let cached =
+            plan_parallel_with_cache(&model, &profile, &loss, &catalog, &goal, &options, &cache);
+        prop_assert_eq!(serial, cached);
+        // Unreachable loss targets evaluate no candidates at all, so only
+        // expect hits when the earlier goals actually populated the cache.
+        prop_assert!(
+            cache.is_empty() || cache.hits() > h0,
+            "warm rerun must hit the cache"
+        );
+    }
+}

@@ -32,6 +32,6 @@ pub mod scenario;
 pub use policy::{Backing, RepairAction, RepairPolicy};
 pub use replanner::{RepairDecision, ReplanInput, Replanner};
 pub use scenario::{
-    run_elastic, summarize, ElasticConfig, ElasticReport, ElasticSummary, TimelineEvent,
-    TimelineKind,
+    run_elastic, summarize, summarize_parallel, ElasticConfig, ElasticReport, ElasticSummary,
+    TimelineEvent, TimelineKind,
 };

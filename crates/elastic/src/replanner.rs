@@ -16,8 +16,8 @@
 //! applicable verbatim to mid-run state.
 
 use cynthia_cloud::InstanceType;
-use cynthia_core::provisioner::{worker_bounds, Goal, PlannerOptions};
-use cynthia_core::{ClusterShape, CynthiaModel, FittedLossModel, PerfModel, ProfileData};
+use cynthia_core::provisioner::{worker_bounds, EvalCache, Goal, PlannerOptions};
+use cynthia_core::{CynthiaModel, FittedLossModel, ProfileData};
 use cynthia_models::SyncMode;
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +74,10 @@ pub struct Replanner {
     loss: FittedLossModel,
     model: CynthiaModel,
     options: PlannerOptions,
+    /// Memoized Sec. 3 model evaluations: the scenario event loop asks for
+    /// the same `(type, width, ps, updates)` points at every market event,
+    /// and exact memoization keeps replay bit-identical.
+    cache: EvalCache,
 }
 
 impl Replanner {
@@ -84,7 +88,13 @@ impl Replanner {
             loss,
             model,
             options,
+            cache: EvalCache::new(),
         }
+    }
+
+    /// Cache statistics `(hits, misses)` of the memoized model evaluations.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
     }
 
     /// The pseudo target loss `l*` whose Eq. (1) inversion equals
@@ -106,8 +116,8 @@ impl Replanner {
         n_ps: u32,
         remaining_updates: u64,
     ) -> f64 {
-        let shape = ClusterShape::homogeneous(ty, n.max(1), n_ps);
-        self.model.predict_time(&shape, remaining_updates)
+        self.cache
+            .predict_time(&self.model, ty, n.max(1), n_ps, remaining_updates)
     }
 
     /// Decide what to do about one reclaimed worker slot.

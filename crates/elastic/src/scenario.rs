@@ -146,7 +146,7 @@ impl ElasticReport {
 }
 
 /// Aggregate of [`run_elastic`] over several master seeds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ElasticSummary {
     pub policy: String,
     pub runs: usize,
@@ -477,10 +477,40 @@ pub fn summarize(
         c.seed = seed;
         reports.push(run_elastic(workload, catalog, &c)?);
     }
+    Some(aggregate(cfg, &reports))
+}
+
+/// [`summarize`], with the per-seed scenarios fanned out across threads.
+/// Each seed owns its RNGs end to end (market, engine, profiling jitter),
+/// so the per-seed reports — and therefore the aggregate — are
+/// bit-identical to the serial [`summarize`]; see
+/// `tests/parallel_equivalence.rs`.
+pub fn summarize_parallel(
+    workload: &Workload,
+    catalog: &Catalog,
+    cfg: &ElasticConfig,
+    seeds: &[u64],
+) -> Option<ElasticSummary> {
+    use rayon::prelude::*;
+    assert!(!seeds.is_empty(), "summarize needs at least one seed");
+    let reports: Option<Vec<ElasticReport>> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            run_elastic(workload, catalog, &c)
+        })
+        .collect();
+    reports.map(|r| aggregate(cfg, &r))
+}
+
+/// The summary statistics both [`summarize`] variants share; reports must
+/// be in seed order so the floating-point folds match exactly.
+fn aggregate(cfg: &ElasticConfig, reports: &[ElasticReport]) -> ElasticSummary {
     let runs = reports.len();
     let misses = reports.iter().filter(|r| !r.met_deadline).count();
     let mean = |f: &dyn Fn(&ElasticReport) -> f64| reports.iter().map(f).sum::<f64>() / runs as f64;
-    Some(ElasticSummary {
+    ElasticSummary {
         policy: cfg.policy.name(),
         runs,
         deadline_miss_rate: misses as f64 / runs as f64,
@@ -489,7 +519,7 @@ pub fn summarize(
         mean_revocations: mean(&|r| r.training.revocations as f64),
         mean_repairs: mean(&|r| r.training.repairs as f64),
         mean_shrinks: mean(&|r| r.shrinks() as f64),
-    })
+    }
 }
 
 #[cfg(test)]

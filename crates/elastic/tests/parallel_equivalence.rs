@@ -1,0 +1,67 @@
+//! Property tests: the parallel multi-seed sweep is bit-identical to the
+//! serial one — same per-seed reports (costs, timelines, runtimes
+//! compared with exact f64 equality) and same aggregate summary.
+
+use cynthia_cloud::{default_catalog, RevocationModel};
+use cynthia_core::provisioner::Goal;
+use cynthia_elastic::{run_elastic, summarize, summarize_parallel, ElasticConfig, RepairPolicy};
+use cynthia_models::Workload;
+use proptest::prelude::*;
+
+fn config(seed: u64, rate_per_hour: f64, deadline_secs: f64) -> ElasticConfig {
+    let goal = Goal {
+        deadline_secs,
+        target_loss: 2.2,
+    };
+    let mut cfg = ElasticConfig::new(goal, RepairPolicy::spot_with_fallback(), seed);
+    cfg.market.revocations = RevocationModel::Exponential { rate_per_hour };
+    cfg
+}
+
+proptest! {
+    // Each case runs 2·seeds full elastic simulations, so keep the case
+    // count modest; coverage comes from the randomized market and goal.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `summarize_parallel` reproduces `summarize` exactly over random
+    /// master seeds, reclaim rates, and deadlines.
+    #[test]
+    fn parallel_sweep_matches_serial(
+        base_seed in 0u64..10_000,
+        rate_per_hour in 0.5f64..12.0,
+        deadline_secs in 2400.0f64..7200.0,
+        n_seeds in 2usize..5,
+    ) {
+        let catalog = default_catalog();
+        let w = Workload::cifar10_bsp();
+        let cfg = config(0, rate_per_hour, deadline_secs);
+        let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| base_seed + 31 * i).collect();
+        let serial = summarize(&w, &catalog, &cfg, &seeds);
+        let parallel = summarize_parallel(&w, &catalog, &cfg, &seeds);
+        // ElasticSummary derives PartialEq: every mean compares bit for
+        // bit, so even a reordered reduction would fail here.
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+/// Per-seed scrutiny beyond the aggregate: re-running a single seed yields
+/// the same timeline and the same realized numbers, bit for bit — i.e.
+/// each seed owns its RNG state and nothing leaks across parallel runs.
+#[test]
+fn per_seed_reports_are_reproducible() {
+    let catalog = default_catalog();
+    let w = Workload::cifar10_bsp();
+    for seed in [1000u64, 1017, 1034] {
+        let cfg = config(seed, 6.0, 3600.0);
+        let a = run_elastic(&w, &catalog, &cfg).expect("feasible");
+        let b = run_elastic(&w, &catalog, &cfg).expect("feasible");
+        assert_eq!(a.realized_cost, b.realized_cost);
+        assert_eq!(a.on_demand_baseline_cost, b.on_demand_baseline_cost);
+        assert_eq!(a.baseline_time, b.baseline_time);
+        assert_eq!(a.training.total_time, b.training.total_time);
+        assert_eq!(a.timeline.len(), b.timeline.len());
+        for (x, y) in a.timeline.iter().zip(&b.timeline) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+}

@@ -76,9 +76,13 @@ impl ExpConfig {
     }
 
     /// Runs `workload` on `cluster` once per repeat and returns all
-    /// reports.
+    /// reports. Repeats run in parallel — each owns its seeded `SimConfig`
+    /// end to end, so the reports are identical to a serial loop, in
+    /// repeat order.
     pub fn run_repeated(&self, workload: &Workload, cluster: &ClusterSpec) -> Vec<TrainingReport> {
+        use rayon::prelude::*;
         (0..self.repeats)
+            .into_par_iter()
             .map(|r| {
                 simulate(&TrainJob {
                     workload,

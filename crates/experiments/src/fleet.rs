@@ -17,6 +17,7 @@ use cynthia_core::provisioner::{plan, Goal, PlannerOptions};
 use cynthia_models::Workload;
 use cynthia_sim::rng::component_rng;
 use rand::Rng;
+use rayon::prelude::*;
 use serde::Serialize;
 
 #[derive(Debug, Clone, Serialize)]
@@ -65,33 +66,48 @@ pub fn run(cfg: &ExpConfig) -> Fleet {
             OptimusModel::fit_from_simulation(&workload, cfg.m4(), &[1, 2, 3, 4], cfg.seed);
         let mut rng = component_rng(cfg.seed, "fleet-goals", wi as u64);
 
-        for _ in 0..jobs_per_workload {
-            let goal = draw_goal(&workload, &mut rng);
-            let cynthia = plan(&profile, &loss, &cfg.catalog, &goal, &opts).map(|p| {
-                let o = execute_plan(cfg, &workload, &p, &goal, "Cynthia");
-                (
-                    o.met_deadline && o.achieved_loss <= goal.target_loss * 1.1,
-                    o.cost_usd,
-                )
-            });
-            let optimus =
-                plan_with_optimus(&optimus_model, &profile, &loss, &cfg.catalog, &goal, &opts).map(
-                    |p| {
-                        let o = execute_plan(cfg, &workload, &p, &goal, "Optimus");
+        // Goals are drawn serially (one shared RNG stream), then each
+        // submission is planned and executed in parallel — planning and
+        // execution are pure functions of (cfg, workload, goal).
+        let goals: Vec<Goal> = (0..jobs_per_workload)
+            .map(|_| draw_goal(&workload, &mut rng))
+            .collect();
+        jobs.extend(
+            goals
+                .par_iter()
+                .map(|goal| {
+                    let cynthia = plan(&profile, &loss, &cfg.catalog, goal, &opts).map(|p| {
+                        let o = execute_plan(cfg, &workload, &p, goal, "Cynthia");
                         (
                             o.met_deadline && o.achieved_loss <= goal.target_loss * 1.1,
                             o.cost_usd,
                         )
-                    },
-                );
-            jobs.push(JobOutcome {
-                workload: workload.id(),
-                deadline_s: goal.deadline_secs,
-                target_loss: goal.target_loss,
-                cynthia,
-                optimus,
-            });
-        }
+                    });
+                    let optimus = plan_with_optimus(
+                        &optimus_model,
+                        &profile,
+                        &loss,
+                        &cfg.catalog,
+                        goal,
+                        &opts,
+                    )
+                    .map(|p| {
+                        let o = execute_plan(cfg, &workload, &p, goal, "Optimus");
+                        (
+                            o.met_deadline && o.achieved_loss <= goal.target_loss * 1.1,
+                            o.cost_usd,
+                        )
+                    });
+                    JobOutcome {
+                        workload: workload.id(),
+                        deadline_s: goal.deadline_secs,
+                        target_loss: goal.target_loss,
+                        cynthia,
+                        optimus,
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
     }
 
     let total = |f: &dyn Fn(&JobOutcome) -> Option<(bool, f64)>| -> (f64, f64) {

@@ -45,33 +45,38 @@ pub fn run(cfg: &ExpConfig) -> Sensitivity {
     let shape = ClusterShape::homogeneous(cfg.m4(), n, 1);
     let predicted = model.predict_time(&shape, w.iterations);
 
-    let mut rows = Vec::new();
-    let mut push = |stressor: &str, level: f64, config: SimConfig| {
-        let observed = simulate(&TrainJob {
-            workload: &w,
-            cluster: ClusterSpec::homogeneous(cfg.m4(), n, 1),
-            config,
-        })
-        .total_time;
-        rows.push(Row {
-            stressor: stressor.to_string(),
-            level,
-            observed_s: observed,
-            predicted_s: predicted,
-            error: (predicted - observed) / observed,
-        });
-    };
-
+    // The stressor grid is embarrassingly parallel: every point owns its
+    // SimConfig, so the sweep fans out across threads in grid order.
+    use rayon::prelude::*;
+    let mut grid: Vec<(&str, f64, SimConfig)> = Vec::new();
     for cv in [0.0, 0.03, 0.08, 0.15] {
         let mut c = cfg.sim(0);
         c.jitter_cv = cv;
-        push("jitter-cv", cv, c);
+        grid.push(("jitter-cv", cv, c));
     }
     for interference in [0.0, 0.1, 0.2, 0.35] {
         let mut c = cfg.sim(0);
         c.nic_interference = interference;
-        push("nic-interference", interference, c);
+        grid.push(("nic-interference", interference, c));
     }
+    let rows = grid
+        .into_par_iter()
+        .map(|(stressor, level, config)| {
+            let observed = simulate(&TrainJob {
+                workload: &w,
+                cluster: ClusterSpec::homogeneous(cfg.m4(), n, 1),
+                config,
+            })
+            .total_time;
+            Row {
+                stressor: stressor.to_string(),
+                level,
+                observed_s: observed,
+                predicted_s: predicted,
+                error: (predicted - observed) / observed,
+            }
+        })
+        .collect();
     Sensitivity { rows }
 }
 

@@ -4,6 +4,32 @@
 use crate::Time;
 use serde::{Deserialize, Serialize};
 
+/// Errors from the measurement trackers (same non-panicking convention as
+/// `cynthia_cloud::BillingError`: callers decide whether a violation is a
+/// bug or recoverable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricsError {
+    /// An update arrived with a timestamp before the previous one.
+    OutOfOrder {
+        /// Timestamp of the rejected update.
+        t: Time,
+        /// Timestamp of the latest accepted update.
+        since: Time,
+    },
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::OutOfOrder { t, since } => {
+                write!(f, "utilization update out of order: {t} < {since}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
 /// Integrates a piecewise-constant utilization level over virtual time.
 ///
 /// The Cynthia paper reports *average CPU utilization* of PS nodes and
@@ -33,18 +59,22 @@ impl UtilizationTracker {
 
     /// Records that the utilization level changed to `level` at time `t`.
     ///
-    /// # Panics
-    /// Panics if `t` precedes the previous update.
-    pub fn set_level(&mut self, t: Time, level: f64) {
-        assert!(
-            t >= self.since - crate::EPS,
-            "utilization update out of order: {t} < {}",
-            self.since
-        );
+    /// # Errors
+    /// [`MetricsError::OutOfOrder`] when `t` precedes the previous update
+    /// (beyond the simulator's `EPS` slack); the tracker state is left
+    /// untouched, matching the non-panicking `BillingMeter` convention.
+    pub fn set_level(&mut self, t: Time, level: f64) -> Result<(), MetricsError> {
+        if t < self.since - crate::EPS {
+            return Err(MetricsError::OutOfOrder {
+                t,
+                since: self.since,
+            });
+        }
         let dt = (t - self.since).max(0.0);
         self.integral += self.level * dt;
         self.since = t;
         self.level = level;
+        Ok(())
     }
 
     /// The current instantaneous level.
@@ -200,19 +230,30 @@ mod tests {
     #[test]
     fn utilization_integrates_levels() {
         let mut u = UtilizationTracker::new(0.0);
-        u.set_level(0.0, 1.0); // busy on [0,4)
-        u.set_level(4.0, 0.0); // idle on [4,8)
+        u.set_level(0.0, 1.0).unwrap(); // busy on [0,4)
+        u.set_level(4.0, 0.0).unwrap(); // idle on [4,8)
         assert!((u.average_until(8.0) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn utilization_partial_levels() {
         let mut u = UtilizationTracker::new(10.0);
-        u.set_level(10.0, 0.25);
-        u.set_level(14.0, 0.75);
+        u.set_level(10.0, 0.25).unwrap();
+        u.set_level(14.0, 0.75).unwrap();
         // [10,14): 0.25, [14,18): 0.75 -> average 0.5
         assert!((u.average_until(18.0) - 0.5).abs() < 1e-12);
         assert_eq!(u.level(), 0.75);
+    }
+
+    #[test]
+    fn out_of_order_update_is_rejected_and_state_preserved() {
+        let mut u = UtilizationTracker::new(0.0);
+        u.set_level(5.0, 1.0).unwrap();
+        let err = u.set_level(2.0, 0.5).unwrap_err();
+        assert_eq!(err, MetricsError::OutOfOrder { t: 2.0, since: 5.0 });
+        // The rejected update left the tracker untouched.
+        assert_eq!(u.level(), 1.0);
+        assert!((u.average_until(10.0) - 0.5).abs() < 1e-12);
     }
 
     #[test]
