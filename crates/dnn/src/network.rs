@@ -92,7 +92,7 @@ impl Mlp {
         &self.params[w1..b1]
     }
 
-    /// Forward pass on a batch (`x`: batch × dims[0]).
+    /// Forward pass on a batch (`x`: batch × dims\[0\]).
     pub fn forward(&self, x: &Matrix) -> ForwardPass {
         assert_eq!(x.cols(), self.dims[0], "input width mismatch");
         let n_layers = self.dims.len() - 1;

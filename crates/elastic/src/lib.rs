@@ -28,6 +28,7 @@
 pub mod policy;
 pub mod replanner;
 pub mod scenario;
+pub mod slo;
 
 pub use policy::{Backing, RepairAction, RepairPolicy};
 pub use replanner::{RepairDecision, ReplanInput, Replanner};
@@ -35,3 +36,4 @@ pub use scenario::{
     run_elastic, summarize, summarize_parallel, ElasticConfig, ElasticReport, ElasticSummary,
     TimelineEvent, TimelineKind,
 };
+pub use slo::{run_guarded, GuardedReport, ReplanEvent, SloGuardConfig};

@@ -120,11 +120,38 @@ impl Replanner {
             .predict_time(&self.model, ty, n.max(1), n_ps, remaining_updates)
     }
 
+    /// The smallest fleet width that can still rescue a failing run:
+    /// inside the Theorem 4.1 band of the remaining subproblem *and*
+    /// predicted by the Sec. 3 model to clear `window_secs` with the
+    /// planner's headroom. `None` when no width in the band can — the
+    /// deadline is unsalvageable on this instance type.
+    pub fn rescue_width(
+        &self,
+        ty: &InstanceType,
+        n_now: u32,
+        n_ps: u32,
+        remaining_updates: u64,
+        window_secs: f64,
+    ) -> Option<u32> {
+        if remaining_updates == 0 {
+            return Some(n_now.max(1));
+        }
+        let l_star = self.pseudo_target_loss(remaining_updates, n_now.max(1));
+        let goal = Goal {
+            deadline_secs: window_secs.max(f64::MIN_POSITIVE),
+            target_loss: l_star,
+        };
+        let bounds = worker_bounds(&self.profile, &self.loss, ty, &goal)?;
+        let effective = window_secs * self.options.headroom;
+        (bounds.n_lower.max(1)..=bounds.n_upper.max(bounds.n_lower.max(1)))
+            .find(|&n| self.predicted_remaining_secs(ty, n, n_ps, remaining_updates) <= effective)
+    }
+
     /// Decide what to do about one reclaimed worker slot.
     ///
     /// Order of preference: **shrink** when the surviving fleet sits
     /// inside the remaining subproblem's Theorem 4.1 band and clears the
-    /// deadline with [`SHRINK_MARGIN`]; otherwise **repair**, on spot
+    /// deadline with `SHRINK_MARGIN`; otherwise **repair**, on spot
     /// while post-repair slack exceeds the policy's fallback threshold,
     /// on-demand once it does not.
     pub fn decide(&self, policy: &RepairPolicy, input: &ReplanInput<'_>) -> RepairDecision {

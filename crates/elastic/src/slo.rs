@@ -1,0 +1,358 @@
+//! SLO guard: deadline protection for faulted runs.
+//!
+//! The elastic scenario loop ([`crate::scenario`]) reacts to *revocations*
+//! it can see coming (the market hands it a reclaim schedule). Real
+//! degradation is sneakier: a straggling replacement, a degraded link, or
+//! a parameter-server crash erode the progress *rate* without any single
+//! obvious decision point. The SLO guard watches the observed progress
+//! trajectory instead, and replans when the trajectory itself implies a
+//! deadline miss.
+//!
+//! **Guard inequality** (docs/EQUATIONS.md): with committed progress `s(t)`
+//! out of `S` total updates at observation time `t`, and the observed
+//! progress rate `ρ(t)` of the current fleet (committed updates per second
+//! of its tenure), the projected finish is
+//!
+//! ```text
+//! T̂(t) = t + (S − s(t)) / ρ(t)
+//! ```
+//!
+//! and the guard fires as soon as `T̂(t) > T_DDL · (1 + tolerance)` — the
+//! Eq. (9) deadline constraint, relaxed by the tolerance band. On firing
+//! it restates the remainder as a fresh Cynthia subproblem exactly as the
+//! revocation replanner does: checkpoint floor `s_ckpt`, remaining updates
+//! `S − s_ckpt`, remaining window `T_DDL − t − migration`, pseudo target
+//! loss via Eq. (1) inversion, Theorem 4.1 band via
+//! [`Replanner::rescue_width`] — then migrates to the smallest healthy
+//! on-demand fleet that clears the window, and resumes from the
+//! checkpoint.
+//!
+//! Replans are *bounded*: at most `max_replans`, separated by an
+//! exponentially growing backoff, so a hopeless run converges to "ran out
+//! of rescue attempts" instead of thrashing through migrations.
+
+use cynthia_cloud::billing::static_cluster_cost;
+use cynthia_cloud::{BillingMeter, Catalog};
+use cynthia_core::provisioner::{plan, Goal, Plan, PlannerOptions};
+use cynthia_core::{profile_workload, FittedLossModel};
+use cynthia_faults::{FaultPlan, RecoveryPolicy};
+use cynthia_models::Workload;
+use cynthia_sim::rng::sub_seed;
+use cynthia_train::{simulate_faulted, ClusterSpec, SimConfig, TrainJob, TrainingReport};
+use serde::{Deserialize, Serialize};
+
+use crate::replanner::Replanner;
+
+/// Configuration of the deadline guard.
+#[derive(Debug, Clone)]
+pub struct SloGuardConfig {
+    /// The user's `(deadline, target loss)` goal, as handed to Alg. 1.
+    pub goal: Goal,
+    /// Fractional deadline overrun tolerated before the guard fires
+    /// (projection noise band). 0.05 ⇒ fire at a projected 5% overrun.
+    pub tolerance: f64,
+    /// Ignore projections before this much wall-clock has elapsed — early
+    /// trajectories (warm-up, first checkpoint) are too noisy to act on.
+    pub min_observation_secs: f64,
+    /// Minimum gap between consecutive replans, seconds.
+    pub replan_backoff_secs: f64,
+    /// Backoff growth factor per replan taken.
+    pub backoff_multiplier: f64,
+    /// Hard cap on rescue migrations.
+    pub max_replans: u32,
+    /// Checkpoint drain + new-fleet boot latency per migration, seconds.
+    /// The old fleet bills through the migration; the new one from its
+    /// launch at the trigger.
+    pub migration_secs: f64,
+    /// Instance type used for the profiling run.
+    pub baseline_type: String,
+    pub planner: PlannerOptions,
+    /// Master seed: profiling jitter, the faulted run, and every rescue
+    /// segment derive from it. Same seed ⇒ bit-identical report.
+    pub seed: u64,
+}
+
+impl SloGuardConfig {
+    pub fn new(goal: Goal, seed: u64) -> Self {
+        SloGuardConfig {
+            goal,
+            tolerance: 0.05,
+            min_observation_secs: 30.0,
+            replan_backoff_secs: 60.0,
+            backoff_multiplier: 2.0,
+            max_replans: 2,
+            migration_secs: 60.0,
+            baseline_type: "m4.xlarge".to_string(),
+            planner: PlannerOptions::default(),
+            seed,
+        }
+    }
+}
+
+/// One guard firing: the evidence and the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplanEvent {
+    /// Wall-clock time the guard fired, seconds since job start.
+    pub at: f64,
+    /// Committed global updates at the trigger.
+    pub progress: u64,
+    /// Checkpoint the rescue fleet resumed from (`≤ progress`).
+    pub restart_from: u64,
+    /// Projected finish `T̂` that violated the guard inequality.
+    pub projected_finish: f64,
+    /// Fleet width before and after the migration.
+    pub n_before: u32,
+    pub n_after: u32,
+}
+
+/// Outcome of one guarded run, with its unguarded counterfactual.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuardedReport {
+    pub plan: Plan,
+    pub goal: Goal,
+    /// The same faults with recovery but *no* guard: realized runtime.
+    pub unguarded_time: f64,
+    pub unguarded_met_deadline: bool,
+    /// Eq. (8) cost of the unguarded run (static fleet, list price).
+    pub unguarded_cost: f64,
+    /// Realized runtime with the guard active.
+    pub guarded_time: f64,
+    pub met_deadline: bool,
+    /// Guard firings, in time order (empty when the trajectory never
+    /// violated the inequality).
+    pub replans: Vec<ReplanEvent>,
+    /// Eq. (8) cost of everything the guarded run leased, migrations
+    /// included.
+    pub realized_cost: f64,
+    /// Loss at the end of the final (possibly rescued) segment.
+    pub final_loss: f64,
+    /// Engine reports of each executed segment: the faulted original
+    /// (truncated at the first firing, if any) followed by one fault-free
+    /// rescue segment per replan.
+    pub segments: Vec<TrainingReport>,
+}
+
+/// Runs one fault plan under the SLO guard. Returns `None` when Alg. 1
+/// finds no feasible initial plan for the goal.
+///
+/// Deterministic in `cfg.seed`: the faulted segment uses the master seed,
+/// rescue segment `k` uses `sub_seed(seed, "slo-replan", k)`.
+pub fn run_guarded(
+    workload: &Workload,
+    catalog: &Catalog,
+    faults: &FaultPlan,
+    policy: &RecoveryPolicy,
+    cfg: &SloGuardConfig,
+) -> Option<GuardedReport> {
+    let baseline_ty = catalog.expect(&cfg.baseline_type);
+    let profile = profile_workload(workload, baseline_ty, cfg.seed);
+    let loss = FittedLossModel {
+        sync: workload.sync,
+        beta0: workload.convergence.beta0,
+        beta1: workload.convergence.beta1,
+        r_squared: 1.0,
+    };
+    let the_plan = plan(&profile, &loss, catalog, &cfg.goal, &cfg.planner)?;
+    let ty = catalog.expect(&the_plan.type_name).clone();
+    let replanner = Replanner::new(profile, loss, cfg.planner);
+    let total = the_plan.total_updates;
+    let deadline = cfg.goal.deadline_secs;
+
+    let run_segment = |n: u32, updates: u64, seed: u64, faults: &FaultPlan| -> TrainingReport {
+        let mut configured = workload.clone();
+        configured.iterations = updates;
+        simulate_faulted(
+            &TrainJob {
+                workload: &configured,
+                cluster: ClusterSpec::homogeneous(&ty, n, the_plan.n_ps),
+                config: SimConfig::exact(seed),
+            },
+            faults,
+            policy,
+        )
+    };
+
+    // The unguarded counterfactual doubles as the guarded run's first
+    // segment: same seed, same faults, so its trajectory up to the first
+    // firing is exactly what the guard would have observed live.
+    let unguarded = run_segment(the_plan.n_workers, total, cfg.seed, faults);
+    let unguarded_cost = static_cluster_cost(
+        ty.price_per_hour,
+        the_plan.n_workers,
+        ty.price_per_hour,
+        the_plan.n_ps,
+        unguarded.total_time,
+    );
+
+    let mut meter = BillingMeter::new();
+    let mut segments: Vec<TrainingReport> = Vec::new();
+    let mut replans: Vec<ReplanEvent> = Vec::new();
+
+    let mut segment = unguarded.clone();
+    let mut seg_start = 0.0_f64; // absolute time the segment began
+    let mut seg_base = 0u64; // global updates done when it began
+    let mut n_now = the_plan.n_workers;
+    let mut fleet_leases: Vec<u64> = (0..the_plan.n_workers + the_plan.n_ps)
+        .map(|_| meter.launch(0.0, ty.price_per_hour))
+        .collect();
+    let mut next_allowed = cfg.min_observation_secs;
+    let mut backoff = cfg.replan_backoff_secs;
+
+    let guarded_time = loop {
+        // Walk the observed trajectory for a guard violation.
+        let trigger = segment.progress_curve.iter().find_map(|&(t_rel, s_rel)| {
+            if replans.len() >= cfg.max_replans as usize {
+                return None;
+            }
+            let t_abs = seg_start + t_rel;
+            let s_abs = seg_base + s_rel;
+            if t_abs < next_allowed || s_abs == 0 || s_abs >= total {
+                return None;
+            }
+            // Rate of the *current* fleet: segment-local, so a rescue
+            // fleet is judged on its own progress, not on the wasted time
+            // that triggered the migration. (For the original segment the
+            // two coincide.) A fresh segment gets the observation warm-up
+            // before it can be condemned.
+            if t_rel < cfg.min_observation_secs || s_rel == 0 {
+                return None;
+            }
+            let rate = s_rel as f64 / t_rel;
+            let projected = t_abs + (total - s_abs) as f64 / rate;
+            (projected.is_finite() && projected > deadline * (1.0 + cfg.tolerance))
+                .then_some((t_abs, s_abs, projected))
+        });
+
+        let Some((t_abs, s_abs, projected)) = trigger else {
+            break seg_start + segment.total_time; // trajectory stayed healthy
+        };
+
+        // Restate the remainder as a fresh Cynthia subproblem.
+        let restart = policy.checkpoint_floor(s_abs);
+        let remaining = total - restart;
+        let window = deadline - t_abs - cfg.migration_secs;
+        let Some(n_new) = (window > 0.0)
+            .then(|| replanner.rescue_width(&ty, n_now, the_plan.n_ps, remaining, window))
+            .flatten()
+        else {
+            // No width can make the deadline any more: ride the current
+            // fleet to completion rather than pay for a futile migration.
+            break seg_start + segment.total_time;
+        };
+
+        replans.push(ReplanEvent {
+            at: t_abs,
+            progress: s_abs,
+            restart_from: restart,
+            projected_finish: projected,
+            n_before: n_now,
+            n_after: n_new,
+        });
+        segments.push(segment);
+
+        // Old fleet drains its checkpoint through the migration; the new
+        // one boots (and bills) from the trigger.
+        for id in fleet_leases.drain(..) {
+            meter
+                .terminate(id, t_abs + cfg.migration_secs)
+                .expect("fleet lease is running");
+        }
+        fleet_leases = (0..n_new + the_plan.n_ps)
+            .map(|_| meter.launch(t_abs, ty.price_per_hour))
+            .collect();
+
+        // The rescue fleet is healthy on-demand capacity: fault-free.
+        let seed_k = sub_seed(cfg.seed, "slo-replan", replans.len() as u64);
+        segment = run_segment(n_new, remaining, seed_k, &FaultPlan::empty());
+        seg_start = t_abs + cfg.migration_secs;
+        seg_base = restart;
+        n_now = n_new;
+        next_allowed = t_abs + backoff;
+        backoff *= cfg.backoff_multiplier;
+    };
+
+    for id in fleet_leases.drain(..) {
+        meter
+            .terminate(id, guarded_time)
+            .expect("fleet lease is running");
+    }
+    let realized_cost = meter.total_cost(guarded_time);
+    let final_loss = segment.final_loss;
+    segments.push(segment);
+
+    Some(GuardedReport {
+        plan: the_plan,
+        goal: cfg.goal,
+        unguarded_time: unguarded.total_time,
+        unguarded_met_deadline: unguarded.total_time <= deadline,
+        unguarded_cost,
+        guarded_time,
+        met_deadline: guarded_time <= deadline,
+        replans,
+        realized_cost,
+        final_loss,
+        segments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cynthia_cloud::default_catalog;
+    use cynthia_faults::{FaultEvent, FaultKind};
+
+    fn goal() -> Goal {
+        Goal {
+            deadline_secs: 3600.0,
+            target_loss: 2.2,
+        }
+    }
+
+    #[test]
+    fn healthy_run_never_fires() {
+        let catalog = default_catalog();
+        let w = Workload::cifar10_bsp();
+        let cfg = SloGuardConfig::new(goal(), 11);
+        let r = run_guarded(
+            &w,
+            &catalog,
+            &FaultPlan::empty(),
+            &RecoveryPolicy::default(),
+            &cfg,
+        )
+        .expect("feasible goal");
+        assert!(
+            r.replans.is_empty(),
+            "no faults, no firings: {:?}",
+            r.replans
+        );
+        assert_eq!(r.guarded_time, r.unguarded_time);
+        assert_eq!(r.segments.len(), 1);
+        assert!(
+            (r.realized_cost - r.unguarded_cost).abs() < 1e-9,
+            "identical runs must bill identically: {} vs {}",
+            r.realized_cost,
+            r.unguarded_cost
+        );
+    }
+
+    #[test]
+    fn guarded_runs_are_deterministic() {
+        let catalog = default_catalog();
+        let w = Workload::cifar10_bsp();
+        let cfg = SloGuardConfig::new(goal(), 23);
+        let faults = FaultPlan::new(vec![FaultEvent::transient(
+            FaultKind::Straggler {
+                worker: 0,
+                factor: 0.25,
+            },
+            40.0,
+            10_000.0,
+        )]);
+        let a = run_guarded(&w, &catalog, &faults, &RecoveryPolicy::default(), &cfg).unwrap();
+        let b = run_guarded(&w, &catalog, &faults, &RecoveryPolicy::default(), &cfg).unwrap();
+        assert_eq!(a.guarded_time, b.guarded_time);
+        assert_eq!(a.realized_cost, b.realized_cost);
+        assert_eq!(a.replans, b.replans);
+    }
+}

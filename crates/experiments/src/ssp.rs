@@ -1,4 +1,4 @@
-//! Extension — stale synchronous parallel (SSP, the paper's ref. [14]),
+//! Extension — stale synchronous parallel (SSP, the paper's ref. \[14\]),
 //! reported as a (negative) throughput result.
 //!
 //! The paper observes that "the DNN model still converges regularly as

@@ -1,0 +1,342 @@
+//! Seeded random fault plans.
+//!
+//! The [`FaultInjector`] turns per-class fault rates into concrete
+//! [`FaultPlan`]s via independent Poisson processes — one deterministic
+//! RNG stream per `(class, entity)` pair, derived from a single master
+//! seed with [`cynthia_sim::rng::component_rng`]. The same
+//! `(config, seed, cluster shape)` always yields the identical plan, and
+//! changing one entity's count never perturbs another's stream, so chaos
+//! runs replay bit-for-bit.
+//!
+//! Drawn plans are valid by construction: permanent worker departures are
+//! capped below the fleet size, permanent PS crashes below the PS count,
+//! and stalls/blackouts always carry finite durations — the
+//! [`FaultPlan::validate`] invariants the simulator requires.
+
+use crate::plan::{FaultEvent, FaultKind, FaultPlan, LinkTarget};
+use cynthia_sim::rng::component_rng;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-class fault rates and shapes for [`FaultInjector`]. All rates are
+/// events per hour *per entity* (worker, NIC, or PS node).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectorConfig {
+    /// Horizon over which faults are drawn, seconds. Faults beyond the
+    /// realized run length simply never fire.
+    pub horizon_secs: f64,
+    /// Worker crash rate, per worker-hour.
+    pub worker_crash_rate: f64,
+    /// Fraction of worker crashes where the environment supplies a
+    /// replacement (spot semantics); the rest fall to the recovery
+    /// policy's retry budget.
+    pub replaced_crash_fraction: f64,
+    /// Mean outage before an environment-supplied replacement, seconds.
+    pub mean_outage_secs: f64,
+    /// Permanent worker departures over the whole horizon, per
+    /// worker-hour. Capped so at least one worker always survives.
+    pub departure_rate: f64,
+    /// Straggler episode rate, per worker-hour.
+    pub straggler_rate: f64,
+    /// Straggler gFLOPS factor is drawn uniformly from this range.
+    pub straggler_factor: (f64, f64),
+    /// Mean straggler episode length, seconds.
+    pub mean_straggle_secs: f64,
+    /// Link degradation rate, per NIC-hour (worker and PS NICs alike).
+    pub link_degrade_rate: f64,
+    /// Link capacity factor drawn uniformly from this range (must stay
+    /// within `(0, 1]` so permanent blackouts cannot arise).
+    pub link_factor: (f64, f64),
+    /// Mean link degradation length, seconds.
+    pub mean_degrade_secs: f64,
+    /// PS crash rate, per PS-hour.
+    pub ps_crash_rate: f64,
+    /// Fraction of PS crashes that are permanent (failover) rather than a
+    /// reboot. Capped so at least one PS always survives.
+    pub ps_permanent_fraction: f64,
+    /// Mean PS reboot outage, seconds.
+    pub mean_ps_outage_secs: f64,
+    /// PS stall rate, per PS-hour.
+    pub ps_stall_rate: f64,
+    /// Mean PS stall length, seconds.
+    pub mean_stall_secs: f64,
+}
+
+impl InjectorConfig {
+    /// A balanced mix of every fault class, scaled by `rate` (events per
+    /// entity-hour) over `horizon_secs`.
+    pub fn chaos(rate: f64, horizon_secs: f64) -> Self {
+        InjectorConfig {
+            horizon_secs,
+            worker_crash_rate: rate,
+            replaced_crash_fraction: 0.5,
+            mean_outage_secs: 45.0,
+            departure_rate: rate * 0.1,
+            straggler_rate: rate,
+            straggler_factor: (0.2, 0.8),
+            mean_straggle_secs: 120.0,
+            link_degrade_rate: rate,
+            link_factor: (0.1, 0.9),
+            mean_degrade_secs: 90.0,
+            ps_crash_rate: rate * 0.5,
+            ps_permanent_fraction: 0.3,
+            mean_ps_outage_secs: 60.0,
+            ps_stall_rate: rate * 0.5,
+            mean_stall_secs: 30.0,
+        }
+    }
+
+    /// No faults at all (the control arm of a chaos drill).
+    pub fn quiet(horizon_secs: f64) -> Self {
+        InjectorConfig {
+            horizon_secs,
+            worker_crash_rate: 0.0,
+            replaced_crash_fraction: 0.0,
+            mean_outage_secs: 45.0,
+            departure_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: (0.5, 0.5),
+            mean_straggle_secs: 60.0,
+            link_degrade_rate: 0.0,
+            link_factor: (0.5, 0.5),
+            mean_degrade_secs: 60.0,
+            ps_crash_rate: 0.0,
+            ps_permanent_fraction: 0.0,
+            mean_ps_outage_secs: 60.0,
+            ps_stall_rate: 0.0,
+            mean_stall_secs: 30.0,
+        }
+    }
+}
+
+/// Draws deterministic random [`FaultPlan`]s from an [`InjectorConfig`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: InjectorConfig,
+}
+
+/// Exponential inter-arrival sample for a `rate`-per-hour Poisson process,
+/// in seconds.
+fn exp_interval(rng: &mut SmallRng, rate_per_hour: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() * 3600.0 / rate_per_hour
+}
+
+/// Exponential duration with the given mean, floored at one second so
+/// zero-length faults cannot arise.
+fn exp_duration(rng: &mut SmallRng, mean_secs: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (-u.ln() * mean_secs).max(1.0)
+}
+
+/// Arrival times of a Poisson process over `[0, horizon)`.
+fn arrivals(rng: &mut SmallRng, rate_per_hour: f64, horizon: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if rate_per_hour <= 0.0 {
+        return out;
+    }
+    let mut t = exp_interval(rng, rate_per_hour);
+    while t < horizon {
+        out.push(t);
+        t += exp_interval(rng, rate_per_hour);
+    }
+    out
+}
+
+impl FaultInjector {
+    /// An injector for the given rates.
+    pub fn new(cfg: InjectorConfig) -> Self {
+        assert!(
+            cfg.horizon_secs > 0.0 && cfg.horizon_secs.is_finite(),
+            "injector horizon must be positive and finite"
+        );
+        FaultInjector { cfg }
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &InjectorConfig {
+        &self.cfg
+    }
+
+    /// Draws the plan for `(seed, cluster shape)`. Deterministic: the same
+    /// arguments always return the identical plan, and the result passes
+    /// [`FaultPlan::validate`] by construction.
+    pub fn draw_plan(&self, seed: u64, n_workers: usize, n_ps: usize) -> FaultPlan {
+        assert!(n_workers > 0 && n_ps > 0, "degenerate cluster");
+        let c = &self.cfg;
+        let h = c.horizon_secs;
+        let mut events: Vec<FaultEvent> = Vec::new();
+
+        // Worker crashes and departures. Departures are budgeted to leave
+        // at least one worker: surplus departures become crashes.
+        let mut departures_left = n_workers - 1;
+        for j in 0..n_workers {
+            let mut rng = component_rng(seed, "fault-worker-crash", j as u64);
+            for at in arrivals(&mut rng, c.worker_crash_rate, h) {
+                let replaced = rng.gen_range(0.0..1.0) < c.replaced_crash_fraction;
+                let kind = FaultKind::WorkerCrash { worker: j };
+                if replaced {
+                    events.push(FaultEvent::transient(
+                        kind,
+                        at,
+                        exp_duration(&mut rng, c.mean_outage_secs),
+                    ));
+                } else {
+                    events.push(FaultEvent::permanent(kind, at));
+                }
+            }
+            let mut rng = component_rng(seed, "fault-worker-departure", j as u64);
+            for at in arrivals(&mut rng, c.departure_rate, h) {
+                if departures_left > 0 {
+                    departures_left -= 1;
+                    events.push(FaultEvent::permanent(
+                        FaultKind::WorkerDeparture { worker: j },
+                        at,
+                    ));
+                } else {
+                    // Downgrade to a recoverable crash to keep the fleet alive.
+                    events.push(FaultEvent::permanent(
+                        FaultKind::WorkerCrash { worker: j },
+                        at,
+                    ));
+                }
+            }
+            let mut rng = component_rng(seed, "fault-straggler", j as u64);
+            for at in arrivals(&mut rng, c.straggler_rate, h) {
+                let (lo, hi) = c.straggler_factor;
+                let factor = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                events.push(FaultEvent::transient(
+                    FaultKind::Straggler { worker: j, factor },
+                    at,
+                    exp_duration(&mut rng, c.mean_straggle_secs),
+                ));
+            }
+            let mut rng = component_rng(seed, "fault-worker-link", j as u64);
+            for at in arrivals(&mut rng, c.link_degrade_rate, h) {
+                let (lo, hi) = c.link_factor;
+                let factor = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                events.push(FaultEvent::transient(
+                    FaultKind::LinkDegraded {
+                        link: LinkTarget::Worker(j),
+                        factor: factor.clamp(1e-3, 1.0),
+                    },
+                    at,
+                    exp_duration(&mut rng, c.mean_degrade_secs),
+                ));
+            }
+        }
+
+        // PS crashes, stalls, and link degradations. Permanent crashes are
+        // budgeted to leave at least one PS: surplus become reboots.
+        let mut ps_deaths_left = n_ps - 1;
+        for k in 0..n_ps {
+            let mut rng = component_rng(seed, "fault-ps-crash", k as u64);
+            for at in arrivals(&mut rng, c.ps_crash_rate, h) {
+                let permanent = rng.gen_range(0.0..1.0) < c.ps_permanent_fraction;
+                let kind = FaultKind::PsCrash { ps: k };
+                if permanent && ps_deaths_left > 0 {
+                    ps_deaths_left -= 1;
+                    events.push(FaultEvent::permanent(kind, at));
+                } else {
+                    events.push(FaultEvent::transient(
+                        kind,
+                        at,
+                        exp_duration(&mut rng, c.mean_ps_outage_secs),
+                    ));
+                }
+            }
+            let mut rng = component_rng(seed, "fault-ps-stall", k as u64);
+            for at in arrivals(&mut rng, c.ps_stall_rate, h) {
+                events.push(FaultEvent::transient(
+                    FaultKind::PsStall { ps: k },
+                    at,
+                    exp_duration(&mut rng, c.mean_stall_secs),
+                ));
+            }
+            let mut rng = component_rng(seed, "fault-ps-link", k as u64);
+            for at in arrivals(&mut rng, c.link_degrade_rate, h) {
+                let (lo, hi) = c.link_factor;
+                let factor = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                events.push(FaultEvent::transient(
+                    FaultKind::LinkDegraded {
+                        link: LinkTarget::Ps(k),
+                        factor: factor.clamp(1e-3, 1.0),
+                    },
+                    at,
+                    exp_duration(&mut rng, c.mean_degrade_secs),
+                ));
+            }
+        }
+
+        // Stable sort by start time: simultaneous events keep the
+        // deterministic generation order above.
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("fault times are finite"));
+        FaultPlan::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let inj = FaultInjector::new(InjectorConfig::chaos(6.0, 1800.0));
+        let a = inj.draw_plan(42, 4, 2);
+        let b = inj.draw_plan(42, 4, 2);
+        assert_eq!(a, b);
+        let c = inj.draw_plan(43, 4, 2);
+        assert_ne!(a, c, "different seeds should draw different plans");
+    }
+
+    #[test]
+    fn drawn_plans_always_validate() {
+        for rate in [0.0, 1.0, 10.0, 60.0] {
+            let inj = FaultInjector::new(InjectorConfig::chaos(rate, 1200.0));
+            for seed in 0..20u64 {
+                for (n, p) in [(1usize, 1usize), (2, 1), (4, 2), (8, 3)] {
+                    let plan = inj.draw_plan(seed, n, p);
+                    plan.validate(n, p).unwrap_or_else(|e| {
+                        panic!("seed {seed} rate {rate} {n}x{p}: invalid plan: {e}")
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_config_draws_nothing() {
+        let inj = FaultInjector::new(InjectorConfig::quiet(3600.0));
+        assert!(inj.draw_plan(7, 4, 2).is_empty());
+    }
+
+    #[test]
+    fn higher_rates_draw_more_events() {
+        let lo = FaultInjector::new(InjectorConfig::chaos(1.0, 3600.0));
+        let hi = FaultInjector::new(InjectorConfig::chaos(20.0, 3600.0));
+        let n_lo: u32 = (0..10)
+            .map(|s| lo.draw_plan(s, 4, 2).census().total())
+            .sum();
+        let n_hi: u32 = (0..10)
+            .map(|s| hi.draw_plan(s, 4, 2).census().total())
+            .sum();
+        assert!(
+            n_hi > n_lo * 5,
+            "rates should scale event counts: {n_lo} vs {n_hi}"
+        );
+    }
+
+    #[test]
+    fn events_are_time_sorted_within_horizon() {
+        let inj = FaultInjector::new(InjectorConfig::chaos(30.0, 600.0));
+        let plan = inj.draw_plan(3, 4, 2);
+        assert!(!plan.is_empty());
+        for w in plan.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for e in &plan.events {
+            assert!(e.at < 600.0);
+        }
+    }
+}

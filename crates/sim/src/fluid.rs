@@ -24,6 +24,38 @@ const RATE_EPS: f64 = 1e-12;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceId(pub(crate) u32);
 
+/// Why a [`FluidSystem`] mutation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FluidError {
+    /// The [`ResourceId`] does not belong to this system.
+    UnknownResource {
+        /// Offending resource index.
+        index: u32,
+        /// Number of registered resources.
+        n_resources: usize,
+    },
+    /// A capacity was negative, NaN, or infinite.
+    BadCapacity {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FluidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FluidError::UnknownResource { index, n_resources } => {
+                write!(f, "unknown resource {index} (system has {n_resources})")
+            }
+            FluidError::BadCapacity { value } => {
+                write!(f, "capacity must be finite and non-negative, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FluidError {}
+
 /// Identifies a flow within a [`FluidSystem`]. Ids are generational: once a
 /// flow completes or is cancelled its id is never valid again.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,21 +168,35 @@ impl FluidSystem {
         id
     }
 
-    /// Changes a resource's capacity (e.g. modelling background interference).
-    pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) {
-        assert!(capacity >= 0.0 && capacity.is_finite());
-        self.resources[r.0 as usize].capacity = capacity;
+    /// Changes a resource's capacity (modelling background interference, a
+    /// degraded link, or a downed node). In-flight flows re-share on the
+    /// next query; shrinking below the current total rate is legal and
+    /// simply slows the flows crossing `r`.
+    pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) -> Result<(), FluidError> {
+        if !capacity.is_finite() || capacity < 0.0 {
+            return Err(FluidError::BadCapacity { value: capacity });
+        }
+        let n_resources = self.resources.len();
+        let res = self
+            .resources
+            .get_mut(r.0 as usize)
+            .ok_or(FluidError::UnknownResource {
+                index: r.0,
+                n_resources,
+            })?;
+        res.capacity = capacity;
         self.dirty = true;
+        Ok(())
     }
 
-    /// The configured capacity of `r`.
+    /// The configured capacity of `r` (0 for a foreign id).
     pub fn capacity(&self, r: ResourceId) -> f64 {
-        self.resources[r.0 as usize].capacity
+        self.resources.get(r.0 as usize).map_or(0.0, |x| x.capacity)
     }
 
-    /// The resource's diagnostic name.
-    pub fn resource_name(&self, r: ResourceId) -> &str {
-        &self.resources[r.0 as usize].name
+    /// The resource's diagnostic name, or `None` for a foreign id.
+    pub fn resource_name(&self, r: ResourceId) -> Option<&str> {
+        self.resources.get(r.0 as usize).map(|x| x.name.as_str())
     }
 
     /// Number of flows currently in the system.
@@ -289,6 +335,32 @@ impl FluidSystem {
         })
     }
 
+    fn iter_flows_with_id(&self) -> impl Iterator<Item = (FlowId, &Flow)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied { gen, flow } => Some((
+                FlowId {
+                    idx: i as u32,
+                    gen: *gen,
+                },
+                flow,
+            )),
+            Slot::Vacant { .. } => None,
+        })
+    }
+
+    fn flow_by_idx(&self, idx: u32) -> Option<&Flow> {
+        match self.slots.get(idx as usize)? {
+            Slot::Occupied { flow, .. } => Some(flow),
+            Slot::Vacant { .. } => None,
+        }
+    }
+
+    fn set_rate_by_idx(&mut self, idx: u32, rate: f64) {
+        if let Some(Slot::Occupied { flow, .. }) = self.slots.get_mut(idx as usize) {
+            flow.rate = rate;
+        }
+    }
+
     /// Recomputes all flow rates by weighted progressive filling.
     ///
     /// Each round, every unfrozen flow `f` grows at rate `weight_f · λ`. The
@@ -365,16 +437,16 @@ impl FluidSystem {
                 if frozen[i as usize] {
                     continue;
                 }
-                let (hits_saturated, capped, weight, max_rate, links) = {
-                    let f = self.get_by_idx(i);
-                    (
-                        f.links.iter().any(|l| saturated[l.0 as usize]),
-                        f.max_rate.is_finite() && f.max_rate / f.weight <= lambda + tol,
-                        f.weight,
-                        f.max_rate,
-                        f.links.clone(),
-                    )
+                let Some(f) = self.flow_by_idx(i) else {
+                    continue;
                 };
+                let (hits_saturated, capped, weight, max_rate, links) = (
+                    f.links.iter().any(|l| saturated[l.0 as usize]),
+                    f.max_rate.is_finite() && f.max_rate / f.weight <= lambda + tol,
+                    f.weight,
+                    f.max_rate,
+                    f.links.clone(),
+                );
                 if hits_saturated || capped {
                     let rate = if capped && !hits_saturated {
                         max_rate
@@ -393,20 +465,6 @@ impl FluidSystem {
         }
     }
 
-    fn get_by_idx(&self, idx: u32) -> &Flow {
-        match &self.slots[idx as usize] {
-            Slot::Occupied { flow, .. } => flow,
-            Slot::Vacant { .. } => unreachable!("indexed a vacant slot"),
-        }
-    }
-
-    fn set_rate_by_idx(&mut self, idx: u32, rate: f64) {
-        match &mut self.slots[idx as usize] {
-            Slot::Occupied { flow, .. } => flow.rate = rate,
-            Slot::Vacant { .. } => unreachable!("indexed a vacant slot"),
-        }
-    }
-
     /// Time until the next flow completes at current rates, as
     /// `(flow, dt)`, or `None` if no flow can make progress (either the
     /// system is empty or every active flow is stalled at rate ≈ 0; use
@@ -414,7 +472,7 @@ impl FluidSystem {
     pub fn next_completion(&mut self) -> Option<(FlowId, Time)> {
         self.ensure_rates();
         let mut best: Option<(FlowId, Time)> = None;
-        for (idx, f) in self.iter_flows() {
+        for (id, f) in self.iter_flows_with_id() {
             let dt = if f.remaining <= EPS {
                 0.0
             } else if f.rate > RATE_EPS {
@@ -422,11 +480,6 @@ impl FluidSystem {
             } else {
                 continue;
             };
-            let gen = match &self.slots[idx as usize] {
-                Slot::Occupied { gen, .. } => *gen,
-                Slot::Vacant { .. } => unreachable!(),
-            };
-            let id = FlowId { idx, gen };
             match best {
                 Some((_, bdt)) if bdt <= dt => {}
                 _ => best = Some((id, dt)),
@@ -641,6 +694,50 @@ mod tests {
             tag: 0,
         });
         assert!(approx(sys.utilization(r), 0.25));
+    }
+
+    #[test]
+    fn set_capacity_reshapes_rates_mid_flight() {
+        let mut sys = FluidSystem::new();
+        let r = sys.add_resource(100.0, "link");
+        let f = sys.start_flow(FlowSpec::new(vec![r], 100.0, 0));
+        sys.advance(0.5); // 50 MB left at 100 MB/s
+        sys.set_capacity(r, 25.0).unwrap();
+        assert!(approx(sys.flow_rate(f).unwrap(), 25.0));
+        let (_, dt) = sys.next_completion().unwrap();
+        assert!(approx(dt, 2.0));
+        // Capacity 0 stalls the flow without dropping it.
+        sys.set_capacity(r, 0.0).unwrap();
+        assert!(sys.is_stalled());
+        sys.set_capacity(r, 50.0).unwrap();
+        assert!(approx(sys.flow_rate(f).unwrap(), 50.0));
+    }
+
+    #[test]
+    fn set_capacity_rejects_bad_inputs() {
+        let mut sys = FluidSystem::new();
+        let r = sys.add_resource(10.0, "link");
+        assert_eq!(
+            sys.set_capacity(r, -1.0),
+            Err(FluidError::BadCapacity { value: -1.0 })
+        );
+        assert!(matches!(
+            sys.set_capacity(r, f64::NAN),
+            Err(FluidError::BadCapacity { .. })
+        ));
+        let foreign = ResourceId(7);
+        assert_eq!(
+            sys.set_capacity(foreign, 5.0),
+            Err(FluidError::UnknownResource {
+                index: 7,
+                n_resources: 1
+            })
+        );
+        // Failed mutations leave the capacity untouched.
+        assert!(approx(sys.capacity(r), 10.0));
+        assert_eq!(sys.capacity(foreign), 0.0);
+        assert_eq!(sys.resource_name(foreign), None);
+        assert_eq!(sys.resource_name(r), Some("link"));
     }
 
     #[test]

@@ -163,6 +163,65 @@ proptest! {
         }
     }
 
+    /// Mid-flight capacity shrink re-shares immediately: even below the
+    /// current aggregate rate, usage drops under the new cap on every
+    /// resource, and `advance` stays monotone (no flow's remaining volume
+    /// grows) afterwards.
+    #[test]
+    fn set_capacity_shrink_reshares_mid_flight(s in scenario(), frac in 0.05f64..0.9) {
+        let (mut sys, rids, fids) = build(&s);
+        let (ri, used) = rids
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, sys.total_rate_on(*r)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        prop_assert!(used > 0.0, "generator guarantees every flow progresses");
+        let new_cap = used * frac;
+        sys.set_capacity(rids[ri], new_cap).unwrap();
+        for (i, r) in rids.iter().enumerate() {
+            let u = sys.total_rate_on(*r);
+            let cap = if i == ri { new_cap } else { s.capacities[i] };
+            prop_assert!(
+                u <= cap * (1.0 + 1e-9) + 1e-9,
+                "resource {i}: used {u} > cap {cap} after shrink"
+            );
+        }
+        let before: Vec<f64> = fids.iter().map(|f| sys.flow_remaining(*f).unwrap()).collect();
+        if let Some((_, dt)) = sys.next_completion() {
+            sys.advance(dt);
+            for (i, f) in fids.iter().enumerate() {
+                if let Some(rem) = sys.flow_remaining(*f) {
+                    prop_assert!(rem <= before[i] + 1e-9, "flow {i} remaining grew: {rem} > {}", before[i]);
+                }
+            }
+        }
+    }
+
+    /// A zero-capacity outage stalls exactly the flows crossing the dead
+    /// resource; restoring the capacity lets the system drain to empty.
+    #[test]
+    fn zero_capacity_outage_then_recovery_drains(s in scenario()) {
+        let (mut sys, rids, fids) = build(&s);
+        sys.set_capacity(rids[0], 0.0).unwrap();
+        for (f, (links, _, _, _)) in fids.iter().zip(&s.flows) {
+            let rate = sys.flow_rate(*f).unwrap();
+            if links.contains(&0) {
+                prop_assert!(rate == 0.0, "flow through dead resource runs at {rate}");
+            } else {
+                prop_assert!(rate > 0.0, "unaffected flow stalled");
+            }
+        }
+        sys.set_capacity(rids[0], s.capacities[0]).unwrap();
+        let mut guard = 0;
+        while let Some((_, dt)) = sys.next_completion() {
+            sys.advance(dt);
+            guard += 1;
+            prop_assert!(guard < 10_000, "did not terminate after recovery");
+        }
+        prop_assert_eq!(sys.active_flows(), 0);
+    }
+
     /// Running the system to completion terminates and delivers every flow
     /// exactly once.
     #[test]

@@ -39,7 +39,7 @@ pub struct SimConfig {
     pub fast_forward: Option<FastForward>,
     /// Approximate number of points kept in the loss curve.
     pub loss_samples: usize,
-    /// Stale-synchronous-parallel slack (the paper's ref. [14]): a BSP
+    /// Stale-synchronous-parallel slack (the paper's ref. \[14\]): a BSP
     /// worker may compute iteration `i` with parameters as old as version
     /// `i − ssp_slack`. `0` (the default) is strict BSP. Slack absorbs
     /// transient jitter and pipeline hiccups; it cannot outrun a

@@ -30,11 +30,21 @@
 //! disruption without a rejoin time shrinks the fleet permanently — the
 //! barrier re-forms over the survivors and the global batch is re-split
 //! across them.
+//!
+//! **Faults & recovery** — [`simulate_faulted`] generalizes this to the
+//! full `cynthia-faults` taxonomy: policy-driven worker crash restarts
+//! (retry budget, exponential backoff), straggler slowdowns, degraded
+//! links, transient PS stalls, and PS crashes that roll global progress
+//! back to the last checkpoint — permanently-dead PS nodes fail their
+//! parameter chunks over to the survivors. [`simulate_disrupted`] is a
+//! thin wrapper over it (crash-with-replacement / permanent departure,
+//! no recovery policy). See `docs/FAULTS.md` for the full semantics.
 
 use crate::cluster::ClusterSpec;
 use crate::config::SimConfig;
 use crate::report::TrainingReport;
 use crate::trace::{Activity, TraceRecorder};
+use cynthia_faults::{FaultEvent, FaultKind, FaultPlan, LinkTarget, RecoveryPolicy};
 use cynthia_models::{SyncMode, Workload};
 use cynthia_sim::events::EventQueue;
 use cynthia_sim::fluid::{FlowSpec, FluidSystem, ResourceId};
@@ -76,17 +86,13 @@ pub fn simulate(job: &TrainJob) -> TrainingReport {
 /// before it revokes, or if the config requests fast-forward extrapolation
 /// (revocations break the steady-state assumption it relies on).
 pub fn simulate_disrupted(job: &TrainJob, disruptions: &[Disruption]) -> TrainingReport {
-    assert!(
-        disruptions.is_empty() || job.config.fast_forward.is_none(),
-        "disruption schedules require full-detail simulation (no fast_forward)"
-    );
-    let mut engine = Engine::new(job);
+    let n = job.cluster.workers.len();
     for d in disruptions {
         assert!(
-            d.worker < engine.n,
+            d.worker < n,
             "disruption names worker {} of {}",
             d.worker,
-            engine.n
+            n
         );
         assert!(d.at >= 0.0, "disruption at negative time");
         if let Some(r) = d.rejoin_at {
@@ -96,13 +102,72 @@ pub fn simulate_disrupted(job: &TrainJob, disruptions: &[Disruption]) -> Trainin
                 d.worker
             );
         }
-        engine.queue.schedule_at(
-            d.at,
-            Ev::Revoke {
-                worker: d.worker,
-                rejoin_at: d.rejoin_at,
-            },
-        );
+    }
+    // A revocation with a rejoin time is a worker crash whose replacement
+    // the environment supplies after the outage; one without is a
+    // permanent departure. No recovery policy applies: zero retry budget,
+    // no PS failover, continuous checkpointing.
+    let plan = FaultPlan::new(
+        disruptions
+            .iter()
+            .map(|d| match d.rejoin_at {
+                Some(r) => FaultEvent::transient(
+                    FaultKind::WorkerCrash { worker: d.worker },
+                    d.at,
+                    r - d.at,
+                ),
+                None => {
+                    FaultEvent::permanent(FaultKind::WorkerDeparture { worker: d.worker }, d.at)
+                }
+            })
+            .collect(),
+    );
+    simulate_faulted(job, &plan, &RecoveryPolicy::none())
+}
+
+/// Like [`simulate`], with a [`FaultPlan`] injected and a [`RecoveryPolicy`]
+/// governing how the cluster heals (see the module docs and
+/// `docs/FAULTS.md`). An empty plan reproduces [`simulate`] bit-for-bit.
+///
+/// # Panics
+/// Panics if the plan fails [`FaultPlan::validate`] against the cluster
+/// shape, the policy fails [`RecoveryPolicy::validate`], or the config
+/// requests fast-forward extrapolation alongside a non-empty plan (faults
+/// break the steady-state assumption extrapolation relies on).
+pub fn simulate_faulted(
+    job: &TrainJob,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> TrainingReport {
+    assert!(
+        plan.is_empty() || job.config.fast_forward.is_none(),
+        "fault plans require full-detail simulation (no fast_forward)"
+    );
+    plan.validate(job.cluster.workers.len(), job.cluster.ps.len())
+        .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+    policy
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid recovery policy: {e}"));
+    let mut engine = Engine::new(job);
+    engine.policy = *policy;
+    engine.backoff_jitter = Jitter::new(
+        job.config.seed,
+        "restart-backoff",
+        0,
+        policy.backoff_jitter_cv,
+    );
+    engine.fault_plan = plan.events.clone();
+    engine.will_depart = {
+        let mut wd = vec![false; engine.n];
+        for e in &plan.events {
+            if let FaultKind::WorkerDeparture { worker } = e.kind {
+                wd[worker] = true;
+            }
+        }
+        wd
+    };
+    for (idx, e) in plan.events.iter().enumerate() {
+        engine.queue.schedule_at(e.at, Ev::Fault { idx });
     }
     engine.run().0
 }
@@ -149,13 +214,30 @@ enum Ev {
     /// incarnation, so segments of the lost instance are discarded when
     /// they fire.
     Seg { worker: usize, inc: u32 },
-    /// The worker's instance is revoked (spot reclaim).
-    Revoke {
-        worker: usize,
-        rejoin_at: Option<f64>,
-    },
-    /// A replacement instance for the worker slot joins the cluster.
+    /// A replacement instance for the worker slot joins the cluster
+    /// (environment-supplied, or a policy-driven restart after backoff).
     Rejoin { worker: usize },
+    /// Fault `idx` of the plan begins.
+    Fault { idx: usize },
+    /// Transient fault `idx` of the plan ends.
+    FaultEnd { idx: usize },
+    /// A permanently-crashed PS node's chunks finish failing over to the
+    /// surviving servers.
+    PsFailover { ps: usize },
+    /// A crashed PS node finishes rebooting from the durable checkpoint.
+    PsRecover { ps: usize },
+}
+
+/// What happens to a worker slot after its instance crashes.
+#[derive(Debug, Clone, Copy)]
+enum CrashOutcome {
+    /// The environment supplies a replacement at the given time.
+    RejoinAt(f64),
+    /// Permanent departure: the fleet shrinks.
+    Depart,
+    /// The recovery policy decides: restart after backoff while the retry
+    /// budget lasts, then retire the slot.
+    Policy,
 }
 
 /// Per-iteration BSP barrier progress.
@@ -234,6 +316,48 @@ struct Engine<'a> {
     revocations: u32,
     repairs: u32,
 
+    // --- fault injection & recovery ---
+    policy: RecoveryPolicy,
+    fault_plan: Vec<FaultEvent>,
+    /// Workers with a scheduled permanent departure: retiring a slot on
+    /// retry-budget exhaustion must always leave one worker that no
+    /// pending departure can take, so the run terminates.
+    will_depart: Vec<bool>,
+    /// Active straggler episodes per worker: `(plan index, gFLOPS factor)`.
+    /// The empty product is exactly 1.0, preserving fault-free timing.
+    stragglers: Vec<Vec<(usize, f64)>>,
+    /// Active link degradations per worker NIC / PS NIC.
+    wk_nic_degs: Vec<Vec<(usize, f64)>>,
+    ps_nic_degs: Vec<Vec<(usize, f64)>>,
+    /// Base capacities (after configured interference) the degradation
+    /// products apply to.
+    wk_nic_base: Vec<f64>,
+    ps_nic_base: Vec<f64>,
+    ps_cpu_base: Vec<f64>,
+    /// Concurrent outages per PS node (a reboot overlapping a reboot).
+    ps_down: Vec<u32>,
+    /// Permanently dead PS nodes (chunks failed over to survivors).
+    ps_dead: Vec<bool>,
+    /// Active transient stalls per PS node.
+    ps_stall: Vec<u32>,
+    /// Total PS outage tokens; the fleet is paused while this is nonzero.
+    ps_down_count: u32,
+    /// Active degradation faults (stragglers, links, stalls).
+    deg_active: u32,
+    /// Restart attempts consumed per worker slot.
+    crash_attempts: Vec<u32>,
+    backoff_jitter: Jitter,
+    /// Highest progress ever committed (for replay accounting).
+    hwm: u64,
+    lost_updates: u64,
+    replayed_updates: u64,
+    retries: u32,
+    failovers: u32,
+    downtime_secs: f64,
+    degraded_secs: f64,
+    progress_curve: Vec<(f64, u64)>,
+    progress_stride: u64,
+
     // BSP progress
     applied: HashMap<u64, IterProgress>,
     iterations_done: u64,
@@ -301,28 +425,28 @@ impl<'a> Engine<'a> {
         let chunk_ps: Vec<usize> = (0..l).map(|c| c % n_ps).collect();
 
         let mut fluid = FluidSystem::new();
-        let wk_nic: Vec<ResourceId> = cluster
-            .workers
+        let wk_nic_base: Vec<f64> = cluster.workers.iter().map(|t| t.nic_mbps).collect();
+        let wk_nic: Vec<ResourceId> = wk_nic_base
             .iter()
             .enumerate()
-            .map(|(j, t)| fluid.add_resource(t.nic_mbps, format!("wk{j}-nic")))
+            .map(|(j, cap)| fluid.add_resource(*cap, format!("wk{j}-nic")))
             .collect();
         assert!(
             (0.0..1.0).contains(&cfg.nic_interference),
             "nic_interference must be in [0, 1)"
         );
         let nic_scale = 1.0 - cfg.nic_interference;
-        let ps_nic: Vec<ResourceId> = cluster
-            .ps
+        let ps_nic_base: Vec<f64> = cluster.ps.iter().map(|t| t.nic_mbps * nic_scale).collect();
+        let ps_nic: Vec<ResourceId> = ps_nic_base
             .iter()
             .enumerate()
-            .map(|(k, t)| fluid.add_resource(t.nic_mbps * nic_scale, format!("ps{k}-nic")))
+            .map(|(k, cap)| fluid.add_resource(*cap, format!("ps{k}-nic")))
             .collect();
-        let ps_cpu: Vec<ResourceId> = cluster
-            .ps
+        let ps_cpu_base: Vec<f64> = cluster.ps.iter().map(|t| t.node_gflops).collect();
+        let ps_cpu: Vec<ResourceId> = ps_cpu_base
             .iter()
             .enumerate()
-            .map(|(k, t)| fluid.add_resource(t.node_gflops, format!("ps{k}-cpu")))
+            .map(|(k, cap)| fluid.add_resource(*cap, format!("ps{k}-cpu")))
             .collect();
 
         let workers = (0..n)
@@ -380,6 +504,31 @@ impl<'a> Engine<'a> {
             n_active: n,
             revocations: 0,
             repairs: 0,
+            policy: RecoveryPolicy::none(),
+            fault_plan: Vec::new(),
+            will_depart: vec![false; n],
+            stragglers: vec![Vec::new(); n],
+            wk_nic_degs: vec![Vec::new(); n],
+            ps_nic_degs: vec![Vec::new(); n_ps],
+            wk_nic_base,
+            ps_nic_base,
+            ps_cpu_base,
+            ps_down: vec![0; n_ps],
+            ps_dead: vec![false; n_ps],
+            ps_stall: vec![0; n_ps],
+            ps_down_count: 0,
+            deg_active: 0,
+            crash_attempts: vec![0; n],
+            backoff_jitter: Jitter::new(cfg.seed, "restart-backoff", 0, 0.0),
+            hwm: 0,
+            lost_updates: 0,
+            replayed_updates: 0,
+            retries: 0,
+            failovers: 0,
+            downtime_secs: 0.0,
+            degraded_secs: 0.0,
+            progress_curve: Vec::new(),
+            progress_stride: (target / 256).max(1),
             applied: HashMap::new(),
             iterations_done: 0,
             last_completion: 0.0,
@@ -455,6 +604,13 @@ impl<'a> Engine<'a> {
         self.cluster.workers[j].core_gflops
     }
 
+    /// Product of active straggler factors on worker `j`. The empty product
+    /// is exactly 1.0, so fault-free runs keep bit-identical timing.
+    /// Applies to compute segments *started* while the episode is active.
+    fn speed_factor(&self, j: usize) -> f64 {
+        self.stragglers[j].iter().map(|(_, f)| *f).product()
+    }
+
     // ------------------------------------------------------------------
     // Driving loop
 
@@ -516,8 +672,9 @@ impl<'a> Engine<'a> {
                         for (_, t) in done {
                             self.on_flow_done(t);
                         }
-                        let (_, ev) = self.queue.pop().expect("peeked event vanished");
-                        self.on_event(ev);
+                        if let Some((_, ev)) = self.queue.pop() {
+                            self.on_event(ev);
+                        }
                     }
                 }
                 (None, Some((_, dt))) => {
@@ -569,6 +726,18 @@ impl<'a> Engine<'a> {
                 *self.comm_accum.entry(*iter).or_insert(0.0) += dt;
             }
         }
+        // Fault-state accounting: full-fleet pauses (PS outages) count as
+        // downtime; any other active impairment counts as degraded time.
+        if self.ps_down_count > 0 {
+            self.downtime_secs += dt;
+        } else if self.deg_active > 0
+            || self
+                .workers
+                .iter()
+                .any(|w| !w.departed && (w.absent || w.restoring))
+        {
+            self.degraded_secs += dt;
+        }
     }
 
     fn comm_begin(&mut self, iter: u64) {
@@ -576,13 +745,13 @@ impl<'a> Engine<'a> {
     }
 
     fn comm_end(&mut self, iter: u64) {
-        let c = self
-            .comm_active
-            .get_mut(&iter)
-            .expect("comm_end without begin");
-        *c -= 1;
-        if *c == 0 {
-            self.comm_active.remove(&iter);
+        // A rollback clears the accounting wholesale; a straggling flow of
+        // the old epoch must not underflow it.
+        if let Some(c) = self.comm_active.get_mut(&iter) {
+            *c -= 1;
+            if *c == 0 {
+                self.comm_active.remove(&iter);
+            }
         }
     }
 
@@ -592,7 +761,7 @@ impl<'a> Engine<'a> {
     fn try_start_segment(&mut self, j: usize) {
         let l = self.workers[j].seg;
         let needed_version = self.workers[j].iter;
-        if self.workers[j].absent || self.workers[j].restoring {
+        if self.workers[j].absent || self.workers[j].restoring || self.ps_down_count > 0 {
             return;
         }
         if self.workers[j].done
@@ -621,7 +790,9 @@ impl<'a> Engine<'a> {
             }
         }
         let chunks = self.chunk_mb.len() as f64;
-        let base = self.compute_gflops_per_worker() / self.worker_rate(j) / chunks;
+        let base = self.compute_gflops_per_worker()
+            / (self.worker_rate(j) * self.speed_factor(j))
+            / chunks;
         let dur = self.workers[j].jitter.perturb(base).max(1e-12);
         self.workers[j].computing = true;
         self.workers[j].compute_busy += dur;
@@ -644,8 +815,11 @@ impl<'a> Engine<'a> {
                     SyncMode::Asp => self.on_asp_compute_done(worker),
                 }
             }
-            Ev::Revoke { worker, rejoin_at } => self.on_revoke(worker, rejoin_at),
             Ev::Rejoin { worker } => self.on_rejoin(worker),
+            Ev::Fault { idx } => self.on_fault(idx),
+            Ev::FaultEnd { idx } => self.on_fault_end(idx),
+            Ev::PsFailover { ps } => self.on_ps_failover(ps),
+            Ev::PsRecover { ps } => self.on_ps_recovered(ps),
         }
     }
 
@@ -725,24 +899,35 @@ impl<'a> Engine<'a> {
                 self.launch_flow(vec![self.ps_cpu[k]], work, tag(KIND_APPLY, j, l, iter));
             }
             (SyncMode::Asp, KIND_APPLY) => {
-                self.workers[j].pending_applies -= 1;
-                if self.workers[j].pending_applies == 0 {
-                    self.on_asp_commit(j);
+                // Guarded: a rollback zeroes the counter while a stale
+                // flow of the old epoch may still complete.
+                let w = &mut self.workers[j];
+                if w.pending_applies > 0 {
+                    w.pending_applies -= 1;
+                    if w.pending_applies == 0 {
+                        self.on_asp_commit(j);
+                    }
                 }
             }
             (SyncMode::Asp, KIND_PULL) => {
-                self.workers[j].pending_pulls -= 1;
-                if self.workers[j].pending_pulls == 0 {
-                    self.on_asp_pulled(j);
+                let w = &mut self.workers[j];
+                if w.pending_pulls > 0 {
+                    w.pending_pulls -= 1;
+                    if w.pending_pulls == 0 {
+                        self.on_asp_pulled(j);
+                    }
                 }
             }
             (_, KIND_RESTORE) => {
-                self.workers[j].pending_pulls -= 1;
-                if self.workers[j].pending_pulls == 0 {
-                    self.on_restored(j);
+                let w = &mut self.workers[j];
+                if w.restoring && w.pending_pulls > 0 {
+                    w.pending_pulls -= 1;
+                    if w.pending_pulls == 0 {
+                        self.on_restored(j);
+                    }
                 }
             }
-            _ => unreachable!("unknown flow kind {kind}"),
+            _ => {} // unknown kind: drop rather than crash the run
         }
     }
 
@@ -769,6 +954,7 @@ impl<'a> Engine<'a> {
         debug_assert_eq!(iter, self.iterations_done, "iterations complete in order");
         self.iterations_done += 1;
         let s = self.iterations_done;
+        self.note_progress(s, now);
 
         if s == self.warmup {
             self.warmup_time = now;
@@ -804,7 +990,9 @@ impl<'a> Engine<'a> {
     // ------------------------------------------------------------------
     // Fleet disruptions (spot revocations, repairs, shrinks)
 
-    fn on_revoke(&mut self, j: usize, rejoin_at: Option<f64>) {
+    /// A worker's instance is lost (spot reclaim, crash, or departure);
+    /// `outcome` decides whether and how the slot comes back.
+    fn crash_worker(&mut self, j: usize, outcome: CrashOutcome) {
         if self.done_time.is_some() {
             return;
         }
@@ -857,25 +1045,49 @@ impl<'a> Engine<'a> {
                 self.comm_end(iter);
             }
         }
-        match rejoin_at {
-            Some(r) => {
+        match outcome {
+            CrashOutcome::RejoinAt(r) => {
                 self.workers[j].absent = true;
                 self.queue.schedule_at(r, Ev::Rejoin { worker: j });
             }
-            None => {
-                // Permanent shrink: the barrier re-forms over the
-                // survivors and the global batch is re-split across them.
-                let w = &mut self.workers[j];
-                w.departed = true;
-                w.done = true;
-                self.active_mask &= !(1u128 << j);
-                self.n_active -= 1;
-                assert!(self.n_active > 0, "fleet shrunk to zero workers");
-                match self.sync {
-                    SyncMode::Bsp => self.recheck_bsp_barrier(),
-                    SyncMode::Asp => self.restart_idle_asp_workers(),
+            CrashOutcome::Depart => self.retire_worker(j),
+            CrashOutcome::Policy => {
+                let attempt = self.crash_attempts[j];
+                // A slot may retire only while a worker with no pending
+                // permanent departure survives it — otherwise the restart
+                // is forced past the budget so the run always terminates.
+                let safe_survivors = (0..self.n)
+                    .filter(|&k| k != j && !self.workers[k].departed && !self.will_depart[k])
+                    .count();
+                if attempt >= self.policy.retry_budget && safe_survivors >= 1 {
+                    self.retire_worker(j);
+                } else {
+                    self.crash_attempts[j] = attempt.saturating_add(1);
+                    self.retries += 1;
+                    let mut delay = self.policy.backoff_secs(attempt);
+                    if self.policy.backoff_jitter_cv > 0.0 {
+                        delay *= self.backoff_jitter.factor();
+                    }
+                    self.workers[j].absent = true;
+                    self.queue
+                        .schedule_after(delay.max(0.0), Ev::Rejoin { worker: j });
                 }
             }
+        }
+    }
+
+    /// Permanent shrink: the barrier re-forms over the survivors and the
+    /// global batch is re-split across them.
+    fn retire_worker(&mut self, j: usize) {
+        let w = &mut self.workers[j];
+        w.departed = true;
+        w.done = true;
+        self.active_mask &= !(1u128 << j);
+        self.n_active -= 1;
+        assert!(self.n_active > 0, "fleet shrunk to zero workers");
+        match self.sync {
+            SyncMode::Bsp => self.recheck_bsp_barrier(),
+            SyncMode::Asp => self.restart_idle_asp_workers(),
         }
     }
 
@@ -887,10 +1099,21 @@ impl<'a> Engine<'a> {
             return;
         }
         self.repairs += 1;
+        self.workers[j].absent = false;
+        if self.ps_down_count > 0 {
+            // The PS fleet is down: nothing to restore from yet. The
+            // fleet-wide restore at recovery picks this worker up.
+            return;
+        }
+        self.begin_restore(j);
+    }
+
+    /// Launches the checkpoint-restore pulls (full parameter re-pull from
+    /// the chunk owners) for a present, non-restoring worker.
+    fn begin_restore(&mut self, j: usize) {
         let restore_uid = self.workers[j].inc as u64;
         {
             let w = &mut self.workers[j];
-            w.absent = false;
             w.restoring = true;
             w.pending_pulls = self.chunk_mb.len();
         }
@@ -945,20 +1168,22 @@ impl<'a> Engine<'a> {
         iters.sort_unstable();
         for iter in iters {
             let mask = self.active_mask;
-            let newly: Vec<usize> = {
-                let prog = self.applied.get_mut(&iter).expect("key just listed");
-                (0..prog.broadcast.len())
+            let newly: Vec<usize> = match self.applied.get_mut(&iter) {
+                Some(prog) => (0..prog.broadcast.len())
                     .filter(|&l| !prog.broadcast[l] && (prog.applied[l] & mask) == mask)
-                    .collect()
+                    .collect(),
+                None => continue,
             };
             for &l in &newly {
-                self.applied
-                    .get_mut(&iter)
-                    .expect("still outstanding")
-                    .broadcast[l] = true;
+                if let Some(prog) = self.applied.get_mut(&iter) {
+                    prog.broadcast[l] = true;
+                }
                 self.broadcast_chunk(iter, l);
             }
-            let complete = self.applied[&iter].broadcast.iter().all(|b| *b);
+            let complete = self
+                .applied
+                .get(&iter)
+                .is_some_and(|p| p.broadcast.iter().all(|b| *b));
             if complete {
                 self.applied.remove(&iter);
                 self.on_bsp_iteration_complete(iter);
@@ -972,6 +1197,9 @@ impl<'a> Engine<'a> {
     /// After an ASP shrink hands cycles back (`started` dropped), idle
     /// finished workers must pick them up or the run would stall.
     fn restart_idle_asp_workers(&mut self) {
+        if self.ps_down_count > 0 {
+            return; // the fleet-wide restore at recovery restarts them
+        }
         for k in 0..self.n {
             if self.started >= self.target {
                 return;
@@ -986,12 +1214,284 @@ impl<'a> Engine<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection & recovery (see docs/FAULTS.md)
+
+    fn on_fault(&mut self, idx: usize) {
+        if self.done_time.is_some() {
+            return;
+        }
+        let e = self.fault_plan[idx];
+        let now = self.queue.now();
+        match e.kind {
+            FaultKind::WorkerCrash { worker } => match e.duration {
+                Some(d) => self.crash_worker(worker, CrashOutcome::RejoinAt(now + d)),
+                None => self.crash_worker(worker, CrashOutcome::Policy),
+            },
+            FaultKind::WorkerDeparture { worker } => {
+                self.crash_worker(worker, CrashOutcome::Depart)
+            }
+            FaultKind::PsCrash { ps } => self.on_ps_crash(idx, ps),
+            FaultKind::Straggler { worker, factor } => {
+                self.stragglers[worker].push((idx, factor));
+                self.deg_active += 1;
+                if let Some(d) = e.duration {
+                    self.queue.schedule_at(now + d, Ev::FaultEnd { idx });
+                }
+            }
+            FaultKind::LinkDegraded { link, factor } => {
+                self.deg_active += 1;
+                match link {
+                    LinkTarget::Worker(j) => {
+                        self.wk_nic_degs[j].push((idx, factor));
+                        self.refresh_wk_nic(j);
+                    }
+                    LinkTarget::Ps(k) => {
+                        self.ps_nic_degs[k].push((idx, factor));
+                        self.refresh_ps(k);
+                    }
+                }
+                if let Some(d) = e.duration {
+                    self.queue.schedule_at(now + d, Ev::FaultEnd { idx });
+                }
+            }
+            FaultKind::PsStall { ps } => {
+                self.deg_active += 1;
+                self.ps_stall[ps] += 1;
+                self.refresh_ps(ps);
+                if let Some(d) = e.duration {
+                    self.queue.schedule_at(now + d, Ev::FaultEnd { idx });
+                }
+            }
+        }
+    }
+
+    fn on_fault_end(&mut self, idx: usize) {
+        if self.done_time.is_some() {
+            return;
+        }
+        let e = self.fault_plan[idx];
+        match e.kind {
+            FaultKind::Straggler { worker, .. } => {
+                // In-flight segments keep their start-time duration; only
+                // newly started segments see the restored speed.
+                self.stragglers[worker].retain(|(i, _)| *i != idx);
+                self.deg_active = self.deg_active.saturating_sub(1);
+            }
+            FaultKind::LinkDegraded { link, .. } => {
+                self.deg_active = self.deg_active.saturating_sub(1);
+                match link {
+                    LinkTarget::Worker(j) => {
+                        self.wk_nic_degs[j].retain(|(i, _)| *i != idx);
+                        self.refresh_wk_nic(j);
+                    }
+                    LinkTarget::Ps(k) => {
+                        self.ps_nic_degs[k].retain(|(i, _)| *i != idx);
+                        self.refresh_ps(k);
+                    }
+                }
+            }
+            FaultKind::PsStall { ps } => {
+                self.deg_active = self.deg_active.saturating_sub(1);
+                self.ps_stall[ps] = self.ps_stall[ps].saturating_sub(1);
+                self.refresh_ps(ps);
+            }
+            // A transient PS crash's end is the reboot completing.
+            FaultKind::PsCrash { ps } => self.on_ps_recovered(ps),
+            _ => {}
+        }
+    }
+
+    /// A PS node crashes: all parameter state since the last checkpoint is
+    /// gone. Global progress rolls back, every in-flight flow dies, and the
+    /// fleet pauses until the node reboots (transient) or its chunks fail
+    /// over to the survivors (permanent).
+    fn on_ps_crash(&mut self, idx: usize, ps: usize) {
+        if self.ps_dead[ps] {
+            return; // a dead node cannot crash again
+        }
+        let e = self.fault_plan[idx];
+        let now = self.queue.now();
+        self.failovers += 1;
+        self.rollback_to_checkpoint();
+        self.ps_down[ps] += 1;
+        self.ps_down_count += 1;
+        self.refresh_ps(ps);
+        match e.duration {
+            Some(d) => self.queue.schedule_at(now + d, Ev::FaultEnd { idx }),
+            None => {
+                let survivors = (0..self.n_ps)
+                    .filter(|&k| k != ps && !self.ps_dead[k])
+                    .count();
+                if self.policy.ps_failover && survivors >= 1 {
+                    self.ps_dead[ps] = true;
+                    self.refresh_ps(ps);
+                    self.queue
+                        .schedule_after(self.policy.ps_failover_secs, Ev::PsFailover { ps });
+                } else {
+                    // No failover capacity: the node reboots from the
+                    // durable checkpoint after the same latency.
+                    self.queue
+                        .schedule_after(self.policy.ps_failover_secs, Ev::PsRecover { ps });
+                }
+            }
+        }
+    }
+
+    /// A crashed PS node is back (reboot finished). When it was the last
+    /// outstanding outage the whole fleet restores and resumes.
+    fn on_ps_recovered(&mut self, ps: usize) {
+        if self.done_time.is_some() {
+            return;
+        }
+        self.ps_down[ps] = self.ps_down[ps].saturating_sub(1);
+        self.ps_down_count = self.ps_down_count.saturating_sub(1);
+        self.refresh_ps(ps);
+        if self.ps_down_count == 0 {
+            self.resume_fleet();
+        }
+    }
+
+    /// A permanently-dead PS node's chunks finish re-sharding round-robin
+    /// onto the surviving servers — its share of parameter bandwidth moves
+    /// with them. The node itself stays dead.
+    fn on_ps_failover(&mut self, ps: usize) {
+        if self.done_time.is_some() {
+            return;
+        }
+        let survivors: Vec<usize> = (0..self.n_ps).filter(|&k| !self.ps_dead[k]).collect();
+        if !survivors.is_empty() {
+            let mut i = 0usize;
+            for owner in self.chunk_ps.iter_mut() {
+                if *owner == ps {
+                    *owner = survivors[i % survivors.len()];
+                    i += 1;
+                }
+            }
+        }
+        self.ps_down[ps] = self.ps_down[ps].saturating_sub(1);
+        self.ps_down_count = self.ps_down_count.saturating_sub(1);
+        if self.ps_down_count == 0 {
+            self.resume_fleet();
+        }
+    }
+
+    /// Rolls global progress back to the last checkpoint boundary: the
+    /// rolled-back updates are *lost* (they will be *replayed*), every
+    /// in-flight flow is cancelled, and all progress bookkeeping resets to
+    /// the checkpoint.
+    fn rollback_to_checkpoint(&mut self) {
+        let now = self.queue.now();
+        let progress = self.progress();
+        let ckpt = self.policy.checkpoint_floor(progress);
+        self.hwm = self.hwm.max(progress);
+        self.lost_updates += progress - ckpt;
+        self.progress_curve.push((now, ckpt));
+
+        // Everything in flight dies with the parameter state.
+        self.fluid.cancel_flows_where(|_| true);
+        self.flow_starts.clear();
+        self.comm_active.clear();
+        self.comm_accum.clear();
+        self.comp_per_iter.clear();
+        self.applied.clear();
+        self.loss_curve.retain(|(s, _)| *s <= ckpt);
+        match self.sync {
+            SyncMode::Bsp => self.iterations_done = ckpt,
+            SyncMode::Asp => {
+                // In-flight cycles are lost; hand them back so the update
+                // target stays reachable.
+                self.commits = ckpt;
+                self.started = ckpt;
+            }
+        }
+        for v in self.chunk_latest.iter_mut() {
+            *v = ckpt;
+        }
+        for j in 0..self.n {
+            let w = &mut self.workers[j];
+            if w.departed {
+                continue;
+            }
+            w.inc += 1; // in-flight compute events are stale now
+            w.computing = false;
+            w.restoring = false;
+            w.done = false;
+            w.seg = 0;
+            w.cur_iter_comp = 0.0;
+            w.pending_applies = 0;
+            w.pending_pulls = 0;
+            w.iter = ckpt;
+            w.v_seen = w.v_seen.min(ckpt);
+            for v in w.chunk_version.iter_mut() {
+                *v = (*v).min(ckpt);
+            }
+            // `absent` survives: the slot is still waiting for its
+            // replacement/restart, which restores on arrival.
+        }
+    }
+
+    /// The PS fleet is whole again: every present worker re-pulls the
+    /// checkpoint (a full parameter restore) and resumes from it.
+    fn resume_fleet(&mut self) {
+        if self.done_time.is_some() {
+            return;
+        }
+        self.last_completion = self.queue.now();
+        for j in 0..self.n {
+            let w = &self.workers[j];
+            if w.departed || w.absent || w.restoring {
+                continue;
+            }
+            self.begin_restore(j);
+        }
+    }
+
+    fn refresh_wk_nic(&mut self, j: usize) {
+        let f: f64 = self.wk_nic_degs[j].iter().map(|(_, x)| *x).product();
+        self.fluid
+            .set_capacity(self.wk_nic[j], self.wk_nic_base[j] * f)
+            .expect("worker NIC belongs to this system");
+    }
+
+    /// Reapplies PS node `k`'s effective NIC/CPU capacities from its base
+    /// capacity, active degradations, stalls, and down/dead state.
+    fn refresh_ps(&mut self, k: usize) {
+        let down = self.ps_down[k] > 0 || self.ps_dead[k];
+        let f: f64 = self.ps_nic_degs[k].iter().map(|(_, x)| *x).product();
+        let nic = if down { 0.0 } else { self.ps_nic_base[k] * f };
+        let cpu = if down || self.ps_stall[k] > 0 {
+            0.0
+        } else {
+            self.ps_cpu_base[k]
+        };
+        self.fluid
+            .set_capacity(self.ps_nic[k], nic)
+            .expect("PS NIC belongs to this system");
+        self.fluid
+            .set_capacity(self.ps_cpu[k], cpu)
+            .expect("PS CPU belongs to this system");
+    }
+
+    /// Replay/high-water-mark accounting and progress-curve sampling on
+    /// every committed update `s`.
+    fn note_progress(&mut self, s: u64, now: f64) {
+        if s <= self.hwm {
+            self.replayed_updates += 1;
+        } else {
+            self.hwm = s;
+        }
+        if s.is_multiple_of(self.progress_stride) || s >= self.target {
+            self.progress_curve.push((now, s));
+        }
+    }
+
+    // ------------------------------------------------------------------
     // ASP mechanics
 
     /// Begins an ASP compute cycle after `extra_delay` seconds (used only
     /// to stagger initial cycles; the delay does not count as busy time).
     fn start_asp_compute(&mut self, j: usize, extra_delay: f64) {
-        let base = self.compute_gflops_per_worker() / self.worker_rate(j);
+        let base = self.compute_gflops_per_worker() / (self.worker_rate(j) * self.speed_factor(j));
         let dur = self.workers[j].jitter.perturb(base).max(1e-12);
         let now = self.queue.now();
         let iter = self.workers[j].iter;
@@ -1034,6 +1534,7 @@ impl<'a> Engine<'a> {
         let staleness = (self.commits - self.workers[j].v_seen) as f64;
         self.commits += 1;
         let s = self.commits;
+        self.note_progress(s, now);
 
         if s == self.warmup {
             self.warmup_time = now;
@@ -1191,6 +1692,13 @@ impl<'a> Engine<'a> {
             staleness: Stats::of(&self.staleness_samples),
             revocations: self.revocations,
             repairs: self.repairs,
+            downtime_secs: self.downtime_secs,
+            degraded_secs: self.degraded_secs,
+            lost_updates: self.lost_updates,
+            replayed_updates: self.replayed_updates,
+            retries: self.retries,
+            failovers: self.failovers,
+            progress_curve: self.progress_curve,
         }
     }
 }

@@ -47,6 +47,11 @@ pub mod trace;
 
 pub use cluster::ClusterSpec;
 pub use config::{FastForward, SimConfig};
-pub use engine::{simulate, simulate_disrupted, simulate_traced, Disruption, TrainJob};
+pub use cynthia_faults::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, LinkTarget, RecoveryPolicy,
+};
+pub use engine::{
+    simulate, simulate_disrupted, simulate_faulted, simulate_traced, Disruption, TrainJob,
+};
 pub use report::TrainingReport;
 pub use trace::TraceRecorder;

@@ -64,6 +64,36 @@ pub struct TrainingReport {
     /// checkpoint restore and re-joined the computation.
     #[serde(default)]
     pub repairs: u32,
+    /// Wall-clock seconds the whole fleet was paused by a PS outage
+    /// (crash to recovery, including failover/reboot latency).
+    #[serde(default)]
+    pub downtime_secs: f64,
+    /// Wall-clock seconds (outside downtime) spent with at least one
+    /// active impairment: a straggler episode, a degraded link, a PS
+    /// stall, or a worker absent/restoring after a crash.
+    #[serde(default)]
+    pub degraded_secs: f64,
+    /// Committed updates rolled back by PS crashes (lost to the last
+    /// checkpoint and re-executed).
+    #[serde(default)]
+    pub lost_updates: u64,
+    /// Updates re-committed while climbing back to the pre-rollback
+    /// high-water mark. Equals `lost_updates` in a completed run, so
+    /// `simulated_iterations + (lost − replayed)` is conserved.
+    #[serde(default)]
+    pub replayed_updates: u64,
+    /// Policy-driven worker restart attempts (retry-budget consumption).
+    #[serde(default)]
+    pub retries: u32,
+    /// PS crash recoveries: chunk failovers onto surviving servers, or
+    /// checkpoint reboots when no failover capacity exists.
+    #[serde(default)]
+    pub failovers: u32,
+    /// `(virtual time, committed updates)` trajectory samples, including a
+    /// marker at every checkpoint rollback — what the SLO guard projects
+    /// deadline feasibility from.
+    #[serde(default)]
+    pub progress_curve: Vec<(f64, u64)>,
 }
 
 impl TrainingReport {
@@ -141,6 +171,13 @@ mod tests {
             staleness: Stats::of(&[]),
             revocations: 0,
             repairs: 0,
+            downtime_secs: 0.0,
+            degraded_secs: 0.0,
+            lost_updates: 0,
+            replayed_updates: 0,
+            retries: 0,
+            failovers: 0,
+            progress_curve: Vec::new(),
         }
     }
 

@@ -1,0 +1,217 @@
+//! Chaos drill: fault rate × recovery policy, priced.
+//!
+//! Sweeps the fault injector's event rate against the three recovery
+//! policies on a fixed cifar-10/BSP fleet, several master seeds each,
+//! and tabulates realized runtime, Eq. (8) cost, and the deadline-miss
+//! rate — the robustness counterpart of the spot-savings frontier:
+//!
+//! ```text
+//! cargo run --release --example chaos_drill [-- --small]
+//! ```
+//!
+//! Then demonstrates the SLO guard (docs/FAULTS.md): a fleet degraded by
+//! a permanent straggler plus a PS crash misses its deadline when left
+//! alone, and meets it when the guard replans onto a rescue fleet.
+//!
+//! Writes the sweep as `CHAOS_drill.json` (CI uploads it next to the
+//! bench reports). `--small` trims seeds and rates for the CI smoke run.
+
+use cynthia::prelude::*;
+use cynthia_cloud::billing::static_cluster_cost;
+use serde::Serialize;
+
+const DEADLINE_SECS: f64 = 3600.0;
+const N_WORKERS: u32 = 4;
+const N_PS: u32 = 2;
+
+#[derive(Debug, Clone, Serialize)]
+struct DrillRow {
+    policy: String,
+    events_per_hour: f64,
+    seeds: usize,
+    mean_time_secs: f64,
+    mean_cost: f64,
+    deadline_miss_rate: f64,
+    mean_downtime_secs: f64,
+    mean_degraded_secs: f64,
+    mean_lost_updates: f64,
+    mean_retries: f64,
+    mean_failovers: f64,
+}
+
+fn policy_name(p: &RecoveryPolicy) -> &'static str {
+    if p.retry_budget == 0 {
+        "none"
+    } else if p.checkpoint_interval_updates <= 20 {
+        "aggressive"
+    } else {
+        "default"
+    }
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let catalog = default_catalog();
+    let ty = catalog.expect("m4.xlarge").clone();
+    // 800 updates ≈ 21 min healthy on this fleet: room for faults inside
+    // the deadline, so the miss column measures the *policies*.
+    let workload = Workload::cifar10_bsp().with_iterations(800);
+
+    let seeds: Vec<u64> = if small {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 5, 8, 13, 21, 34]
+    };
+    let rates: &[f64] = if small {
+        &[0.0, 8.0]
+    } else {
+        &[0.0, 2.0, 4.0, 8.0, 16.0]
+    };
+    let policies = [
+        RecoveryPolicy::none(),
+        RecoveryPolicy::default(),
+        RecoveryPolicy::aggressive(),
+    ];
+
+    println!(
+        "cifar-10/BSP on {} x{} + {} PS, deadline {:.0} s, {} seeds\n",
+        ty.name,
+        N_WORKERS,
+        N_PS,
+        DEADLINE_SECS,
+        seeds.len()
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>9} {:>7} {:>9} {:>9} {:>7} {:>8}",
+        "policy", "rate/h", "time s", "cost $", "miss", "down s", "degr s", "lost", "retries"
+    );
+
+    let mut rows: Vec<DrillRow> = Vec::new();
+    for &rate in rates {
+        for policy in &policies {
+            let mut times = 0.0;
+            let mut costs = 0.0;
+            let mut misses = 0usize;
+            let mut down = 0.0;
+            let mut degraded = 0.0;
+            let mut lost = 0.0;
+            let mut retries = 0.0;
+            let mut failovers = 0.0;
+            for &seed in &seeds {
+                let plan = FaultInjector::new(InjectorConfig::chaos(rate, DEADLINE_SECS))
+                    .draw_plan(seed, N_WORKERS as usize, N_PS as usize);
+                let report = simulate_faulted(
+                    &TrainJob {
+                        workload: &workload,
+                        cluster: ClusterSpec::homogeneous(&ty, N_WORKERS, N_PS),
+                        config: SimConfig::deterministic(seed),
+                    },
+                    &plan,
+                    policy,
+                );
+                times += report.total_time;
+                costs += static_cluster_cost(
+                    ty.price_per_hour,
+                    N_WORKERS,
+                    ty.price_per_hour,
+                    N_PS,
+                    report.total_time,
+                );
+                misses += usize::from(report.total_time > DEADLINE_SECS);
+                down += report.downtime_secs;
+                degraded += report.degraded_secs;
+                lost += report.lost_updates as f64;
+                retries += report.retries as f64;
+                failovers += report.failovers as f64;
+            }
+            let n = seeds.len() as f64;
+            let row = DrillRow {
+                policy: policy_name(policy).to_string(),
+                events_per_hour: rate,
+                seeds: seeds.len(),
+                mean_time_secs: times / n,
+                mean_cost: costs / n,
+                deadline_miss_rate: misses as f64 / n,
+                mean_downtime_secs: down / n,
+                mean_degraded_secs: degraded / n,
+                mean_lost_updates: lost / n,
+                mean_retries: retries / n,
+                mean_failovers: failovers / n,
+            };
+            println!(
+                "{:<12} {:>8.1} {:>10.1} {:>9.4} {:>6.0}% {:>9.1} {:>9.1} {:>7.1} {:>8.1}",
+                row.policy,
+                row.events_per_hour,
+                row.mean_time_secs,
+                row.mean_cost,
+                row.deadline_miss_rate * 100.0,
+                row.mean_downtime_secs,
+                row.mean_degraded_secs,
+                row.mean_lost_updates,
+                row.mean_retries,
+            );
+            rows.push(row);
+        }
+        println!();
+    }
+
+    // ------------------------------------------------------------------
+    // SLO guard demo: rescue a run the faults have doomed.
+    let goal = Goal {
+        deadline_secs: DEADLINE_SECS,
+        target_loss: 2.2,
+    };
+    let faults = FaultPlan::new(vec![
+        FaultEvent::permanent(
+            FaultKind::Straggler {
+                worker: 0,
+                factor: 0.05,
+            },
+            60.0,
+        ),
+        FaultEvent::transient(FaultKind::PsCrash { ps: 0 }, 120.0, 45.0),
+    ]);
+    let guarded = run_guarded(
+        &workload,
+        &catalog,
+        &faults,
+        &RecoveryPolicy::default(),
+        &SloGuardConfig::new(goal, 17),
+    )
+    .expect("goal is feasible on a healthy fleet");
+    println!("SLO guard: 20x straggler at 60 s + PS crash at 120 s, deadline {DEADLINE_SECS:.0} s");
+    println!(
+        "  unguarded: {:>8.0} s  -> {}",
+        guarded.unguarded_time,
+        if guarded.unguarded_met_deadline {
+            "met"
+        } else {
+            "MISSED"
+        }
+    );
+    for r in &guarded.replans {
+        println!(
+            "  guard fired at {:.0} s: projected finish {:.0} s, \
+             restart from update {} on {} workers (was {})",
+            r.at, r.projected_finish, r.restart_from, r.n_after, r.n_before
+        );
+    }
+    println!(
+        "  guarded:   {:>8.0} s  -> {}  (cost ${:.2} vs unguarded ${:.2})",
+        guarded.guarded_time,
+        if guarded.met_deadline {
+            "met"
+        } else {
+            "MISSED"
+        },
+        guarded.realized_cost,
+        guarded.unguarded_cost
+    );
+
+    std::fs::write(
+        "CHAOS_drill.json",
+        serde_json::to_string_pretty(&rows).expect("rows serialize"),
+    )
+    .expect("write CHAOS_drill.json");
+    println!("\nwrote CHAOS_drill.json ({} rows)", rows.len());
+}

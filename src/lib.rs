@@ -14,6 +14,9 @@
 //!   parameter server, validating the paper's convergence assumptions.
 //! * [`train`] — the ground-truth PS-training simulator (BSP/ASP,
 //!   bottlenecks, stragglers, multi-PS).
+//! * [`faults`] — seeded fault plans (crashes, stragglers, degraded
+//!   links, PS outages) and recovery policies (checkpoints, retry
+//!   budgets, PS failover); see `docs/FAULTS.md`.
 //! * [`core`] — Cynthia itself: profiler, loss model, performance model,
 //!   Theorem 4.1 bounds, Algorithm 1 provisioner, end-to-end framework.
 //! * [`elastic`] — elastic fleets on revocable spot capacity: a
@@ -50,6 +53,7 @@ pub use cynthia_core as core;
 pub use cynthia_dnn as dnn;
 pub use cynthia_elastic as elastic;
 pub use cynthia_experiments as experiments;
+pub use cynthia_faults as faults;
 pub use cynthia_models as models;
 pub use cynthia_sim as sim;
 pub use cynthia_train as train;
@@ -63,11 +67,15 @@ pub mod prelude {
         Plan, PlannerOptions, ProfileData,
     };
     pub use cynthia_elastic::{
-        run_elastic, summarize, ElasticConfig, ElasticReport, ElasticSummary, RepairAction,
-        RepairPolicy, Replanner,
+        run_elastic, run_guarded, summarize, ElasticConfig, ElasticReport, ElasticSummary,
+        GuardedReport, RepairAction, RepairPolicy, Replanner, SloGuardConfig,
+    };
+    pub use cynthia_faults::{
+        FaultEvent, FaultInjector, FaultKind, FaultPlan, InjectorConfig, LinkTarget, RecoveryPolicy,
     };
     pub use cynthia_models::{ConvergenceProfile, SyncMode, Workload};
     pub use cynthia_train::{
-        simulate, simulate_disrupted, ClusterSpec, Disruption, SimConfig, TrainJob, TrainingReport,
+        simulate, simulate_disrupted, simulate_faulted, ClusterSpec, Disruption, SimConfig,
+        TrainJob, TrainingReport,
     };
 }

@@ -1,0 +1,100 @@
+//! SLO-guard acceptance demo: a run degraded by an injected PS crash and
+//! a hard straggler *misses* its deadline when left alone, and *meets* it
+//! when the guard replans onto a rescue fleet (docs/FAULTS.md §SLO guard).
+
+use cynthia::prelude::*;
+
+/// cifar-10/BSP to loss 2.2 within an hour — comfortably feasible on a
+/// healthy fleet (~12 min), hopeless under a 20x straggler.
+fn goal() -> Goal {
+    Goal {
+        deadline_secs: 3600.0,
+        target_loss: 2.2,
+    }
+}
+
+fn crash_and_straggle() -> FaultPlan {
+    FaultPlan::new(vec![
+        // A worker degrades to 5% of its gFLOPS early and never recovers:
+        // the BSP barrier paces the whole fleet at the straggler's speed.
+        FaultEvent::permanent(
+            FaultKind::Straggler {
+                worker: 0,
+                factor: 0.05,
+            },
+            60.0,
+        ),
+        // And the parameter server reboots mid-run, rolling progress back
+        // to the last checkpoint.
+        FaultEvent::transient(FaultKind::PsCrash { ps: 0 }, 120.0, 45.0),
+    ])
+}
+
+#[test]
+fn guard_rescues_a_deadline_the_baseline_misses() {
+    let catalog = default_catalog();
+    let w = Workload::cifar10_bsp();
+    let cfg = SloGuardConfig::new(goal(), 17);
+    let report = run_guarded(
+        &w,
+        &catalog,
+        &crash_and_straggle(),
+        &RecoveryPolicy::default(),
+        &cfg,
+    )
+    .expect("goal is feasible on a healthy fleet");
+
+    assert!(
+        !report.unguarded_met_deadline,
+        "baseline must miss: unguarded took {:.0}s of {:.0}s",
+        report.unguarded_time, report.goal.deadline_secs
+    );
+    assert!(
+        report.met_deadline,
+        "guarded run must meet the deadline: took {:.0}s of {:.0}s with {} replans",
+        report.guarded_time,
+        report.goal.deadline_secs,
+        report.replans.len()
+    );
+    assert!(!report.replans.is_empty(), "the guard must have fired");
+    let first = &report.replans[0];
+    assert!(
+        first.projected_finish > report.goal.deadline_secs,
+        "the firing must cite a projected miss"
+    );
+    assert!(first.restart_from <= first.progress);
+    assert!(
+        report.guarded_time < report.unguarded_time,
+        "rescue must actually be faster"
+    );
+    // The rescue fleet costs money: guarded is not cheaper than the
+    // healthy static plan would have been, and the report accounts for it.
+    assert!(report.realized_cost > 0.0);
+    assert_eq!(report.segments.len(), report.replans.len() + 1);
+}
+
+#[test]
+fn guard_report_is_deterministic() {
+    let catalog = default_catalog();
+    let w = Workload::cifar10_bsp();
+    let cfg = SloGuardConfig::new(goal(), 17);
+    let a = run_guarded(
+        &w,
+        &catalog,
+        &crash_and_straggle(),
+        &RecoveryPolicy::default(),
+        &cfg,
+    )
+    .unwrap();
+    let b = run_guarded(
+        &w,
+        &catalog,
+        &crash_and_straggle(),
+        &RecoveryPolicy::default(),
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(a.replans, b.replans);
+    assert_eq!(a.guarded_time, b.guarded_time);
+    assert_eq!(a.realized_cost, b.realized_cost);
+}
