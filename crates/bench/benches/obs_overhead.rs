@@ -1,0 +1,53 @@
+//! Overhead budget for the observability layer (ISSUE 5: < 3%).
+//!
+//! Runs the Alg. 1 provisioning grid — the hottest instrumented path —
+//! three ways: hooks recording (`obs` feature on, master switch on),
+//! hooks present but switched off (`cynthia_obs::set_enabled(false)`),
+//! and, when the workspace is built with `--no-default-features`, hooks
+//! compiled out entirely. The enabled-vs-disabled delta bounds what the
+//! instrumentation costs; `emit_bench` persists the same comparison to
+//! `BENCH_obs.json` for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cynthia_bench::{bench_loss, bench_profile, goal_grid};
+use cynthia_cloud::catalog::default_catalog;
+use cynthia_core::provisioner::{plan, PlannerOptions};
+use cynthia_models::Workload;
+
+fn plan_the_grid() {
+    let catalog = default_catalog();
+    let w = Workload::cifar10_bsp();
+    let profile = bench_profile(&w);
+    let loss = bench_loss(&w);
+    for goal in goal_grid() {
+        let _ = plan(&profile, &loss, &catalog, &goal, &PlannerOptions::default());
+    }
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    // Warm caches and CPU clocks before either measurement, or the first
+    // benchmark pays the cold-start cost and the comparison is meaningless.
+    for _ in 0..20 {
+        plan_the_grid();
+    }
+    let mut g = c.benchmark_group("obs-overhead");
+    g.sample_size(50);
+    let gate = if cfg!(feature = "obs") {
+        "hooks-compiled-in"
+    } else {
+        "hooks-compiled-out"
+    };
+    g.bench_function(&format!("plan-grid-obs-enabled-{gate}"), |b| {
+        cynthia_obs::set_enabled(true);
+        b.iter(plan_the_grid)
+    });
+    g.bench_function(&format!("plan-grid-obs-disabled-{gate}"), |b| {
+        cynthia_obs::set_enabled(false);
+        b.iter(plan_the_grid)
+    });
+    cynthia_obs::set_enabled(true);
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

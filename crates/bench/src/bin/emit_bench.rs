@@ -1,15 +1,17 @@
-//! Emits `BENCH_provision.json` and `BENCH_sweep.json`: wall time of the
-//! serial vs parallel band search and multi-seed elastic sweep, the
-//! speedup, and the eval-cache hit rate — the perf trajectory record the
-//! ROADMAP's "fast as the hardware allows" goal is tracked against.
+//! Emits `BENCH_provision.json`, `BENCH_sweep.json`, and `BENCH_obs.json`:
+//! wall time of the serial vs parallel band search and multi-seed elastic
+//! sweep, the speedup, the eval-cache hit rate, and the cost of the
+//! observability hooks — the perf trajectory record the ROADMAP's "fast
+//! as the hardware allows" goal is tracked against.
 //!
 //! ```text
 //! cargo run --release -p cynthia-bench --bin emit_bench [out_dir]
 //! ```
 //!
-//! Both measurements first assert that the parallel path reproduces the
-//! serial output bit for bit (`bit_identical` in the emitted record), so a
-//! regression in equivalence shows up in the perf artifact too.
+//! Both parallelism measurements first assert that the parallel path
+//! reproduces the serial output bit for bit (`bit_identical` in the
+//! emitted record), so a regression in equivalence shows up in the perf
+//! artifact too; the obs record asserts the same about the kill switch.
 
 use cynthia_bench::{
     bench_loss, bench_profile, goal_grid, sweep_config, sweep_seeds, ParallelBenchReport,
@@ -19,6 +21,8 @@ use cynthia_core::provisioner::{plan, plan_parallel_with_cache, EvalCache, Plann
 use cynthia_core::CynthiaModel;
 use cynthia_elastic::{summarize, summarize_parallel};
 use cynthia_models::Workload;
+use cynthia_obs::export::write_json_pretty;
+use serde::Serialize;
 use std::time::Instant;
 
 fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
@@ -98,6 +102,65 @@ fn sweep_report() -> ParallelBenchReport {
     }
 }
 
+/// Cost of the observability hooks on the provisioning hot path: the
+/// goal grid planned with metrics recording vs the kill switch thrown.
+/// `obs_compiled: false` means the hooks are compiled out entirely and
+/// both timings measure the same uninstrumented code.
+#[derive(Debug, Clone, Serialize)]
+struct ObsBenchReport {
+    bench: String,
+    work_items: usize,
+    enabled_secs: f64,
+    disabled_secs: f64,
+    overhead_pct: f64,
+    obs_compiled: bool,
+    bit_identical: bool,
+}
+
+fn obs_report() -> ObsBenchReport {
+    let catalog = default_catalog();
+    let workload = Workload::cifar10_bsp();
+    let profile = bench_profile(&workload);
+    let loss = bench_loss(&workload);
+    // Full-band scan, repeated: the Theorem 4.1-narrowed grid plans in
+    // microseconds, far below timer noise for a percentage comparison.
+    let opts = PlannerOptions {
+        use_bounds: false,
+        max_workers: 64,
+        ..PlannerOptions::default()
+    };
+    let goals = goal_grid();
+    const REPS: usize = 20;
+
+    let plan_grid = || {
+        let mut last = Vec::new();
+        for _ in 0..REPS {
+            last = goals
+                .iter()
+                .map(|g| plan(&profile, &loss, &catalog, g, &opts))
+                .collect::<Vec<_>>();
+        }
+        last
+    };
+    let _ = plan_grid(); // warm-up
+
+    cynthia_obs::set_enabled(true);
+    let (enabled_plans, enabled_secs) = timed(plan_grid);
+    cynthia_obs::set_enabled(false);
+    let (disabled_plans, disabled_secs) = timed(plan_grid);
+    cynthia_obs::set_enabled(true);
+
+    ObsBenchReport {
+        bench: "obs_hooks_provision_grid".to_string(),
+        work_items: goals.len(),
+        enabled_secs,
+        disabled_secs,
+        overhead_pct: (enabled_secs / disabled_secs - 1.0) * 100.0,
+        obs_compiled: cfg!(feature = "obs"),
+        bit_identical: enabled_plans == disabled_plans,
+    }
+}
+
 fn main() {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
 
@@ -107,11 +170,7 @@ fn main() {
         "parallel band search diverged from serial: {provision:?}"
     );
     let path = format!("{out_dir}/BENCH_provision.json");
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&provision).expect("report serializes"),
-    )
-    .expect("write BENCH_provision.json");
+    write_json_pretty(&path, &provision).expect("write BENCH_provision.json");
     eprintln!(
         "{path}: {} goals, serial {:.3}s, parallel {:.3}s ({:.2}x, cache hit rate {:.1}%)",
         provision.work_items,
@@ -127,13 +186,21 @@ fn main() {
         "parallel sweep diverged from serial: {sweep:?}"
     );
     let path = format!("{out_dir}/BENCH_sweep.json");
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&sweep).expect("report serializes"),
-    )
-    .expect("write BENCH_sweep.json");
+    write_json_pretty(&path, &sweep).expect("write BENCH_sweep.json");
     eprintln!(
         "{path}: {} seeds, serial {:.3}s, parallel {:.3}s ({:.2}x)",
         sweep.work_items, sweep.serial_secs, sweep.parallel_secs, sweep.speedup
+    );
+
+    let obs = obs_report();
+    assert!(
+        obs.bit_identical,
+        "obs kill switch changed the planner's output: {obs:?}"
+    );
+    let path = format!("{out_dir}/BENCH_obs.json");
+    write_json_pretty(&path, &obs).expect("write BENCH_obs.json");
+    eprintln!(
+        "{path}: {} goals, hooks on {:.3}s, off {:.3}s ({:+.2}% overhead, compiled: {})",
+        obs.work_items, obs.enabled_secs, obs.disabled_secs, obs.overhead_pct, obs.obs_compiled
     );
 }

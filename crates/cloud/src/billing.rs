@@ -90,6 +90,7 @@ impl BillingMeter {
                 end: None,
             },
         );
+        crate::obs::lease_launched();
         id
     }
 
@@ -124,6 +125,7 @@ impl BillingMeter {
         lease.end = Some(t);
         let cost = lease.settled_before + lease.price_per_hour * (t - lease.start) / 3600.0;
         self.settled += cost;
+        crate::obs::lease_settled(cost);
         Ok(cost)
     }
 

@@ -28,6 +28,7 @@ pub mod billing;
 pub mod catalog;
 pub mod instance;
 pub mod netperf;
+pub mod obs;
 pub mod provisioner;
 pub mod spot;
 

@@ -25,6 +25,7 @@
 pub mod advisor;
 pub mod framework;
 pub mod loss_model;
+pub mod obs;
 pub mod perf_model;
 pub mod profiler;
 pub mod provisioner;

@@ -270,9 +270,11 @@ impl EvalCache {
         let key = (ty.name.clone(), n, n_ps, total_updates);
         if let Some(&t) = self.times.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            crate::obs::cache_hit();
             return t;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::obs::cache_miss();
         let shape = ClusterShape::homogeneous(ty, n, n_ps);
         let t = model.predict_time(&shape, total_updates);
         self.times.lock().insert(key, t);
@@ -477,6 +479,7 @@ pub fn plan_with_model(
     options: &PlannerOptions,
 ) -> Option<Plan> {
     check_goal(profile, loss, goal, options);
+    let _plan_guard = crate::obs::plan_started("provision.plan");
     let effective = Goal {
         deadline_secs: goal.deadline_secs * options.headroom,
         target_loss: goal.target_loss,
@@ -489,6 +492,8 @@ pub fn plan_with_model(
             Some(b) => b,
             None => continue,
         };
+        let _type_span = crate::obs::type_span(&ty.name);
+        crate::obs::band_computed(bounds.n_lower, bounds.upper_for(bounds.n_ps));
         let mut found_for_type = false;
         for extra_ps in 0..=options.max_ps_escalation {
             if found_for_type {
@@ -520,6 +525,7 @@ pub fn plan_with_model(
             }
         }
     }
+    crate::obs::plan_finished(evaluated, best.is_some());
     best.map(|mut p| {
         p.candidates_evaluated = evaluated;
         p
@@ -547,6 +553,7 @@ pub fn plan_parallel_with_cache(
     cache: &EvalCache,
 ) -> Option<Plan> {
     check_goal(profile, loss, goal, options);
+    let _plan_guard = crate::obs::plan_started("provision.plan_parallel");
     let effective = Goal {
         deadline_secs: goal.deadline_secs * options.headroom,
         target_loss: goal.target_loss,
@@ -557,6 +564,9 @@ pub fn plan_parallel_with_cache(
         .par_iter()
         .map(|ty| worker_bounds(profile, loss, ty, &effective))
         .collect();
+    for b in bounds.iter().flatten() {
+        crate::obs::band_computed(b.n_lower, b.upper_for(b.n_ps));
+    }
 
     // Per type: the serial algorithm's outcome, filled in over the waves.
     struct TypeState {
@@ -667,6 +677,7 @@ pub fn plan_parallel_with_cache(
             }
         }
     }
+    crate::obs::plan_finished(evaluated, best.is_some());
     best.map(|(ti, c)| {
         let mut p = plan_from(model, types[ti], &c);
         p.candidates_evaluated = evaluated;

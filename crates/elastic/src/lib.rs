@@ -25,6 +25,7 @@
 //! seed yields bit-identical reclaim schedules, repair decisions,
 //! timelines, and realized cost.
 
+pub mod obs;
 pub mod policy;
 pub mod replanner;
 pub mod scenario;

@@ -136,6 +136,7 @@ impl Replanner {
         if remaining_updates == 0 {
             return Some(n_now.max(1));
         }
+        crate::obs::rescue_search();
         let l_star = self.pseudo_target_loss(remaining_updates, n_now.max(1));
         let goal = Goal {
             deadline_secs: window_secs.max(f64::MIN_POSITIVE),

@@ -153,6 +153,7 @@ pub fn run_guarded(
         r_squared: 1.0,
     };
     let the_plan = plan(&profile, &loss, catalog, &cfg.goal, &cfg.planner)?;
+    let obs_guard = crate::obs::guarded_begin();
     let ty = catalog.expect(&the_plan.type_name).clone();
     let replanner = Replanner::new(profile, loss, cfg.planner);
     let total = the_plan.total_updates;
@@ -240,6 +241,8 @@ pub fn run_guarded(
             break seg_start + segment.total_time;
         };
 
+        crate::obs::segment(obs_guard, seg_start, t_abs, n_now);
+        crate::obs::migration(obs_guard, t_abs, cfg.migration_secs, n_now, n_new);
         replans.push(ReplanEvent {
             at: t_abs,
             progress: s_abs,
@@ -270,6 +273,9 @@ pub fn run_guarded(
         next_allowed = t_abs + backoff;
         backoff *= cfg.backoff_multiplier;
     };
+
+    crate::obs::segment(obs_guard, seg_start, guarded_time, n_now);
+    crate::obs::guarded_end(obs_guard, guarded_time, guarded_time <= deadline);
 
     for id in fleet_leases.drain(..) {
         meter

@@ -272,6 +272,7 @@ impl FaultInjector {
         // Stable sort by start time: simultaneous events keep the
         // deterministic generation order above.
         events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("fault times are finite"));
+        crate::obs::plan_drawn(&events);
         FaultPlan::new(events)
     }
 }

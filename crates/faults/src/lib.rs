@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod injector;
+pub mod obs;
 pub mod plan;
 pub mod recovery;
 

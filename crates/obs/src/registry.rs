@@ -1,0 +1,509 @@
+//! Typed metrics: counters, float counters, gauges, fixed-bucket
+//! histograms, and the registry that names, renders, and exports them.
+//!
+//! Handles ([`Counter`], [`Gauge`], …) are cheap `Arc` clones around
+//! lock-free atomics, so instrumented hot paths pay one relaxed atomic
+//! operation per event. The registry itself is only locked on
+//! registration and on export. Exposition order is deterministic (sorted
+//! by name, then by label set), so a registry populated with the same
+//! values always renders byte-identical output — the golden-snapshot
+//! tests under `tests/snapshots/` rely on this.
+
+use parking_lot::Mutex;
+use serde::{Number, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically non-decreasing integer counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (counters only go up).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free add on an `f64` stored as bits in an [`AtomicU64`].
+fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(cur) + delta;
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A monotonically non-decreasing `f64` counter (e.g. accumulated
+/// seconds). Negative increments are ignored so the monotonicity
+/// invariant holds by construction.
+#[derive(Debug, Clone, Default)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl FloatCounter {
+    /// Adds `v` if it is positive and finite; ignores it otherwise.
+    #[inline]
+    pub fn add(&self, v: f64) {
+        if v > 0.0 && v.is_finite() {
+            atomic_f64_add(&self.0, v);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// An instantaneous `f64` value that may move in either direction.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` (may be negative).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        atomic_f64_add(&self.0, v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Finite upper bounds; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; `bounds.len() + 1`
+    /// entries, the last being the `+Inf` bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, as `f64` bits.
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Buckets are chosen at registration and never
+/// change, so bucket *counts* are deterministic for a deterministic
+/// observation stream (the `sum` may differ in final bits when observed
+/// from multiple threads, since float addition is order-dependent).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.0.sum, v);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum.load(Ordering::Relaxed))
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs, ending with the `+Inf`
+    /// bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.0.counts.len());
+        for (i, c) in self.0.counts.iter().enumerate() {
+            acc += c.load(Ordering::Relaxed);
+            let bound = self.0.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+
+    /// Per-bucket (non-cumulative) counts, `+Inf` last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Wall-clock latency buckets (seconds): 100 µs … 600 s.
+pub const TIME_BUCKETS: &[f64] = &[
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+];
+
+/// Power-of-two width buckets for small integer quantities (band widths,
+/// fleet sizes).
+pub const WIDTH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    FloatCounter(FloatCounter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) | Handle::FloatCounter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// `(name, sorted labels)` — the registry key.
+type Key = (String, Vec<(String, String)>);
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    handle: Handle,
+}
+
+/// A named collection of metrics with deterministic exposition.
+///
+/// Use [`crate::metrics`] for the process-wide registry; construct local
+/// registries in tests that need isolated, byte-stable snapshots.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<BTreeMap<Key, Entry>>,
+}
+
+/// Formats a metric value the way the text exposition needs it: integers
+/// without a decimal point, floats in shortest round-trip form.
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf" } else { "-Inf" }.to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, labels: &[(&str, &str)], help: &str, make: Handle) -> Handle {
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        sorted.sort();
+        let key = (name.to_string(), sorted);
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(key).or_insert_with(|| Entry {
+            help: help.to_string(),
+            handle: make,
+        });
+        entry.handle.clone()
+    }
+
+    /// Gets or registers an integer counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Gets or registers an integer counter with labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        match self.register(name, labels, help, Handle::Counter(Counter::default())) {
+            Handle::Counter(c) => c,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Gets or registers a monotonic `f64` counter (accumulated seconds,
+    /// dollars, …).
+    pub fn float_counter(&self, name: &str, help: &str) -> FloatCounter {
+        match self.register(
+            name,
+            &[],
+            help,
+            Handle::FloatCounter(FloatCounter::default()),
+        ) {
+            Handle::FloatCounter(c) => c,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Gets or registers a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.register(name, &[], help, Handle::Gauge(Gauge::default())) {
+            Handle::Gauge(g) => g,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Gets or registers a fixed-bucket histogram. The bucket bounds of
+    /// the first registration win; later calls return the same handle.
+    pub fn histogram(&self, name: &str, bounds: &[f64], help: &str) -> Histogram {
+        match self.register(
+            name,
+            &[],
+            help,
+            Handle::Histogram(Histogram::with_bounds(bounds)),
+        ) {
+            Handle::Histogram(h) => h,
+            other => panic!("{name} already registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Number of registered metric series.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the Prometheus text exposition format, sorted by metric
+    /// name then label set — byte-deterministic for equal contents.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock();
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), entry) in entries.iter() {
+            if last_name != Some(name.as_str()) {
+                let _ = writeln!(out, "# HELP {name} {}", entry.help);
+                let _ = writeln!(out, "# TYPE {name} {}", entry.handle.type_name());
+                last_name = Some(name.as_str());
+            }
+            let lbl = fmt_labels(labels);
+            match &entry.handle {
+                Handle::Counter(c) => {
+                    let _ = writeln!(out, "{name}{lbl} {}", c.get());
+                }
+                Handle::FloatCounter(c) => {
+                    let _ = writeln!(out, "{name}{lbl} {}", fmt_value(c.get()));
+                }
+                Handle::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{lbl} {}", fmt_value(g.get()));
+                }
+                Handle::Histogram(h) => {
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let mut with_le: Vec<(String, String)> = labels.clone();
+                        with_le.push(("le".to_string(), fmt_value(bound)));
+                        let _ = writeln!(out, "{name}_bucket{} {cum}", fmt_labels(&with_le));
+                    }
+                    let _ = writeln!(out, "{name}_sum{lbl} {}", fmt_value(h.sum()));
+                    let _ = writeln!(out, "{name}_count{lbl} {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Exports every metric as a JSON value tree (name → series), in the
+    /// same deterministic order as the text exposition.
+    pub fn to_json(&self) -> Value {
+        let entries = self.entries.lock();
+        let mut series: Vec<Value> = Vec::with_capacity(entries.len());
+        for ((name, labels), entry) in entries.iter() {
+            let mut obj: Vec<(String, Value)> = vec![
+                ("name".to_string(), Value::Str(name.clone())),
+                (
+                    "type".to_string(),
+                    Value::Str(entry.handle.type_name().to_string()),
+                ),
+            ];
+            if !labels.is_empty() {
+                obj.push((
+                    "labels".to_string(),
+                    Value::Object(
+                        labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                            .collect(),
+                    ),
+                ));
+            }
+            match &entry.handle {
+                Handle::Counter(c) => {
+                    obj.push((
+                        "value".to_string(),
+                        Value::Number(Number::Int(c.get() as i64)),
+                    ));
+                }
+                Handle::FloatCounter(c) => {
+                    obj.push(("value".to_string(), Value::Number(Number::Float(c.get()))));
+                }
+                Handle::Gauge(g) => {
+                    obj.push(("value".to_string(), Value::Number(Number::Float(g.get()))));
+                }
+                Handle::Histogram(h) => {
+                    let buckets: Vec<Value> = h
+                        .cumulative_buckets()
+                        .into_iter()
+                        .map(|(bound, cum)| {
+                            Value::Object(vec![
+                                ("le".to_string(), Value::Str(fmt_value(bound))),
+                                ("count".to_string(), Value::Number(Number::Int(cum as i64))),
+                            ])
+                        })
+                        .collect();
+                    obj.push(("buckets".to_string(), Value::Array(buckets)));
+                    obj.push(("sum".to_string(), Value::Number(Number::Float(h.sum()))));
+                    obj.push((
+                        "count".to_string(),
+                        Value::Number(Number::Int(h.count() as i64)),
+                    ));
+                }
+            }
+            series.push(Value::Object(obj));
+        }
+        Value::Object(vec![("metrics".to_string(), Value::Array(series))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic_and_shared() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total", "a counter");
+        let b = r.counter("x_total", "a counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "handles alias the same series");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn float_counter_ignores_non_positive() {
+        let r = MetricsRegistry::new();
+        let c = r.float_counter("secs_total", "seconds");
+        c.add(1.5);
+        c.add(-3.0);
+        c.add(f64::NAN);
+        c.add(0.0);
+        assert_eq!(c.get(), 1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_count() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat", &[0.1, 1.0, 10.0], "latency");
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 1]);
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, 5, "+Inf bucket is cumulative total");
+        assert!((h.sum() - 56.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_sorted() {
+        let build = || {
+            let r = MetricsRegistry::new();
+            r.counter("b_total", "second").add(2);
+            r.counter("a_total", "first").add(1);
+            r.counter_with("c_total", &[("kind", "y"), ("az", "1")], "labeled")
+                .add(3);
+            r.render_prometheus()
+        };
+        let text = build();
+        assert_eq!(text, build(), "same contents render byte-identically");
+        let a = text.find("a_total").unwrap();
+        let b = text.find("b_total").unwrap();
+        assert!(a < b, "sorted by name:\n{text}");
+        assert!(
+            text.contains("c_total{az=\"1\",kind=\"y\"} 3"),
+            "labels sorted:\n{text}"
+        );
+    }
+
+    #[test]
+    fn json_export_mirrors_the_registry() {
+        let r = MetricsRegistry::new();
+        r.counter("n_total", "n").add(7);
+        r.gauge("g", "g").set(2.5);
+        let json = r.to_json();
+        let series = json["metrics"].as_array().unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0]["name"], "g");
+        assert_eq!(series[1]["value"].as_i64(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("m", "as counter");
+        r.gauge("m", "as gauge");
+    }
+}

@@ -111,6 +111,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let entry = self.heap.pop()?;
         self.now = entry.at;
+        crate::obs::event_popped();
         Some((entry.at, entry.event))
     }
 

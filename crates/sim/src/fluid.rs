@@ -218,6 +218,7 @@ impl FluidSystem {
             !spec.links.is_empty() || spec.max_rate.is_finite(),
             "a flow needs at least one link or a finite max_rate"
         );
+        crate::obs::flow_started();
         let mut links = spec.links;
         links.sort_by_key(|r| r.0);
         links.dedup();
@@ -263,6 +264,7 @@ impl FluidSystem {
     pub fn cancel_flow(&mut self, id: FlowId) -> Option<f64> {
         let remaining = self.get(id)?.remaining;
         self.release(id.idx);
+        crate::obs::flows_dropped(1);
         Some(remaining)
     }
 
@@ -276,13 +278,15 @@ impl FluidSystem {
             .filter(|(_, f)| pred(f.tag))
             .map(|(idx, f)| (idx, f.tag, f.remaining))
             .collect();
-        victims
+        let cancelled: Vec<(u64, f64)> = victims
             .into_iter()
             .map(|(idx, tag, remaining)| {
                 self.release(idx);
                 (tag, remaining)
             })
-            .collect()
+            .collect();
+        crate::obs::flows_dropped(cancelled.len());
+        cancelled
     }
 
     fn release(&mut self, idx: u32) {
@@ -515,6 +519,7 @@ impl FluidSystem {
         for (id, _) in &done {
             self.release(id.idx);
         }
+        crate::obs::flows_finished(done.len());
         done
     }
 }

@@ -19,6 +19,7 @@
 pub mod events;
 pub mod fluid;
 pub mod metrics;
+pub mod obs;
 pub mod rng;
 
 /// Virtual time, in seconds since the start of the simulation.

@@ -264,6 +264,8 @@ struct WorkerState {
     departed: bool,
     /// Rejoined and currently re-pulling the parameter checkpoint.
     restoring: bool,
+    /// When the current restore's pulls were launched (observability only).
+    restore_start: f64,
     /// Bumped on every revocation; stale compute events are discarded.
     inc: u32,
     /// BSP: parameter version available per chunk (segment `l` of
@@ -399,6 +401,10 @@ struct Engine<'a> {
     // running SSP staleness accumulator (drives the convergence penalty)
     ssp_stale_sum: f64,
     ssp_stale_count: u64,
+
+    /// Span-track id from `obs::run_begin` (0 when spans are off);
+    /// observability only, never read by the simulation.
+    obs_run: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -458,6 +464,7 @@ impl<'a> Engine<'a> {
                 absent: false,
                 departed: false,
                 restoring: false,
+                restore_start: 0.0,
                 inc: 0,
                 chunk_version: vec![0; l],
                 compute_busy: 0.0,
@@ -554,6 +561,7 @@ impl<'a> Engine<'a> {
             flow_starts: HashMap::new(),
             ssp_stale_sum: 0.0,
             ssp_stale_count: 0,
+            obs_run: 0,
         }
     }
 
@@ -615,6 +623,7 @@ impl<'a> Engine<'a> {
     // Driving loop
 
     fn run(mut self) -> (TrainingReport, Option<TraceRecorder>) {
+        self.obs_run = crate::obs::run_begin(self.queue.now());
         match self.sync {
             SyncMode::Bsp => {
                 for j in 0..self.n {
@@ -682,6 +691,8 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        let end = self.done_time.unwrap_or_else(|| self.queue.now());
+        crate::obs::run_end(self.obs_run, end, self.progress());
         let trace = self.trace.take();
         (self.finish(), trace)
     }
@@ -961,12 +972,17 @@ impl<'a> Engine<'a> {
         }
         if s > self.warmup {
             self.iter_samples.push(now - self.last_completion);
+            let mut comp = 0.0;
+            let mut comm = 0.0;
             if let Some(c) = self.comp_per_iter.remove(&iter) {
                 self.comp_samples.push(c);
+                comp = c;
             }
             if let Some(c) = self.comm_accum.remove(&iter) {
                 self.comm_samples.push(c);
+                comm = c;
             }
+            crate::obs::iteration(self.obs_run, None, self.last_completion, now, comp, comm);
         } else {
             self.comp_per_iter.remove(&iter);
             self.comm_accum.remove(&iter);
@@ -1112,9 +1128,11 @@ impl<'a> Engine<'a> {
     /// the chunk owners) for a present, non-restoring worker.
     fn begin_restore(&mut self, j: usize) {
         let restore_uid = self.workers[j].inc as u64;
+        let now = self.queue.now();
         {
             let w = &mut self.workers[j];
             w.restoring = true;
+            w.restore_start = now;
             w.pending_pulls = self.chunk_mb.len();
         }
         for l in 0..self.chunk_mb.len() {
@@ -1131,6 +1149,12 @@ impl<'a> Engine<'a> {
     /// freshest parameters the PS fleet holds.
     fn on_restored(&mut self, j: usize) {
         self.workers[j].restoring = false;
+        crate::obs::restore(
+            self.obs_run,
+            self.workers[j].restore_start,
+            self.queue.now(),
+            j,
+        );
         match self.sync {
             SyncMode::Bsp => {
                 let iterations_done = self.iterations_done;
@@ -1385,6 +1409,7 @@ impl<'a> Engine<'a> {
         let ckpt = self.policy.checkpoint_floor(progress);
         self.hwm = self.hwm.max(progress);
         self.lost_updates += progress - ckpt;
+        crate::obs::rollback(self.obs_run, now, progress - ckpt);
         self.progress_curve.push((now, ckpt));
 
         // Everything in flight dies with the parameter state.
@@ -1547,6 +1572,14 @@ impl<'a> Engine<'a> {
             // cycle time sample uses commit-to-commit cadence instead).
             self.comm_samples.push(now - w.compute_end);
             self.iter_samples.push(now - w.cycle_start);
+            crate::obs::iteration(
+                self.obs_run,
+                Some(j),
+                w.cycle_start,
+                now,
+                w.cur_iter_comp,
+                now - w.compute_end,
+            );
         }
         self.record_loss(s);
 
@@ -1633,6 +1666,20 @@ impl<'a> Engine<'a> {
     fn finish(self) -> TrainingReport {
         let sim_time = self.done_time.expect("finish called before completion");
         let sim_time = sim_time.max(1e-12);
+        crate::obs::record_run(&crate::obs::RunTotals {
+            updates: self.progress(),
+            iter_samples: &self.iter_samples,
+            comp_samples: &self.comp_samples,
+            comm_samples: &self.comm_samples,
+            revocations: self.revocations,
+            repairs: self.repairs,
+            retries: self.retries,
+            failovers: self.failovers,
+            lost_updates: self.lost_updates,
+            replayed_updates: self.replayed_updates,
+            downtime_secs: self.downtime_secs,
+            degraded_secs: self.degraded_secs,
+        });
         let final_loss = self
             .loss_curve
             .last()

@@ -42,6 +42,7 @@
 pub mod cluster;
 pub mod config;
 pub mod engine;
+pub mod obs;
 pub mod report;
 pub mod trace;
 

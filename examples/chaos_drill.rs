@@ -208,10 +208,7 @@ fn main() {
         guarded.unguarded_cost
     );
 
-    std::fs::write(
-        "CHAOS_drill.json",
-        serde_json::to_string_pretty(&rows).expect("rows serialize"),
-    )
-    .expect("write CHAOS_drill.json");
+    cynthia_obs::export::write_json_pretty("CHAOS_drill.json", &rows)
+        .expect("write CHAOS_drill.json");
     println!("\nwrote CHAOS_drill.json ({} rows)", rows.len());
 }

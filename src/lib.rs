@@ -55,6 +55,7 @@ pub use cynthia_elastic as elastic;
 pub use cynthia_experiments as experiments;
 pub use cynthia_faults as faults;
 pub use cynthia_models as models;
+pub use cynthia_obs as obs;
 pub use cynthia_sim as sim;
 pub use cynthia_train as train;
 
